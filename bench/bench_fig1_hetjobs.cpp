@@ -1,0 +1,102 @@
+// Quantification of Fig. 1 (paper §3.6): heterogeneous SLURM jobs reduce
+// the idle time of the quantum device compared to MPMD co-allocation. The
+// paper shows the schematic; this harness measures it with the
+// discrete-event model across workload shapes.
+//
+//   ./bench_fig1_hetjobs [--jobs 24] [--devices 1] [--seed 6]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sched/des.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::vector<qq::sched::JobPhases> make_workload(int jobs, double prep_scale,
+                                                std::uint64_t seed) {
+  qq::util::Rng rng(seed);
+  std::vector<qq::sched::JobPhases> out;
+  for (int i = 0; i < jobs; ++i) {
+    qq::sched::JobPhases p;
+    p.classical_prep = prep_scale * qq::util::uniform(rng, 0.5, 1.5);
+    p.quantum = qq::util::uniform(rng, 1.0, 2.0);
+    p.classical_post = 0.3 * prep_scale * qq::util::uniform(rng, 0.5, 1.5);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const qq::util::Args args(argc, argv);
+  const int jobs = args.get_int("jobs", 24);
+  const int devices = args.get_int("devices", 1);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 6));
+
+  std::printf("=== Fig. 1 quantification: MPMD vs heterogeneous jobs ===\n");
+  std::printf("%d jobs, %d quantum device(s); classical/quantum ratio swept "
+              "via the prep scale\n\n",
+              jobs, devices);
+
+  qq::util::Table table({"prep/quantum", "policy", "makespan",
+                         "alloc idle %", "device util %", "mean dev wait"});
+  for (const double prep_scale : {0.5, 1.0, 2.0, 4.0}) {
+    const auto workload = make_workload(jobs, prep_scale, seed);
+    for (const auto policy : {qq::sched::AllocationPolicy::kMpmd,
+                              qq::sched::AllocationPolicy::kHeterogeneous}) {
+      qq::sched::DesOptions opts;
+      opts.quantum_devices = devices;
+      opts.classical_nodes = jobs;  // CPUs plentiful: isolate the QPU story
+      opts.policy = policy;
+      const auto r = qq::sched::simulate_workload(workload, opts);
+      double wait = 0.0;
+      for (const auto& t : r.traces) wait += t.quantum_wait;
+      table.add_row(
+          {qq::util::format_double(prep_scale, 1),
+           policy == qq::sched::AllocationPolicy::kMpmd ? "MPMD" : "het-jobs",
+           qq::util::format_double(r.makespan, 1),
+           qq::util::format_double(100.0 * r.quantum_alloc_idle_fraction, 1),
+           qq::util::format_double(100.0 * r.quantum_utilization, 1),
+           qq::util::format_double(wait / jobs, 2)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("expected shape: het-jobs drive the allocation idle share to "
+              "0%% and raise device utilization, with the gap growing as "
+              "the classical phases dominate.\n\n");
+
+  // Coordinator lookahead (Fig. 2 caption: the coordinator "could inspect
+  // the sub-graphs and calculate the most appropriate resource allocation
+  // in advance"): dispatch-order policies under heterogeneous allocation.
+  qq::util::Table queues({"queue policy", "makespan", "mean completion",
+                          "device util %"});
+  const auto workload = make_workload(jobs, 2.0, seed);
+  for (const auto queue : {qq::sched::QueuePolicy::kFifo,
+                           qq::sched::QueuePolicy::kShortestQuantumFirst,
+                           qq::sched::QueuePolicy::kLongestQuantumFirst}) {
+    qq::sched::DesOptions opts;
+    opts.quantum_devices = std::max(devices, 2);
+    opts.classical_nodes = jobs;
+    opts.policy = qq::sched::AllocationPolicy::kHeterogeneous;
+    opts.queue = queue;
+    const auto r = qq::sched::simulate_workload(workload, opts);
+    const char* name =
+        queue == qq::sched::QueuePolicy::kFifo
+            ? "FIFO"
+            : (queue == qq::sched::QueuePolicy::kShortestQuantumFirst
+                   ? "shortest-quantum-first"
+                   : "longest-quantum-first");
+    queues.add_row({name, qq::util::format_double(r.makespan, 2),
+                    qq::util::format_double(r.mean_completion, 2),
+                    qq::util::format_double(100.0 * r.quantum_utilization, 1)});
+  }
+  std::printf("coordinator lookahead (heterogeneous, %d devices):\n%s\n",
+              std::max(devices, 2), queues.str().c_str());
+  return 0;
+}

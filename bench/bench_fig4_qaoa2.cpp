@@ -1,0 +1,141 @@
+// Reproduction of Fig. 4 (paper §4): QAOA^2 applied to large unweighted
+// Erdős–Rényi graphs (paper: 500..2500 nodes, edge probability 0.1). The
+// sub-graphs of the first partition are solved either all with QAOA
+// ("QAOA"), all with GW ("Classic"), or with the best of the two ("Best");
+// GW on the original graph ("GW") and a random partition ("Random")
+// complete the series. Values are reported relative to the QAOA series,
+// exactly as in the figure.
+//
+//   ./bench_fig4_qaoa2 [--nodes 60,120,180,240,300] [--prob 0.1]
+//                      [--qubits 10] [--full]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "maxcut/baselines.hpp"
+#include "qaoa2/qaoa2.hpp"
+#include "qgraph/generators.hpp"
+#include "sdp/gw.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  const qq::util::Args args(argc, argv);
+  std::vector<int> node_counts;
+  int qubits;
+  if (args.has("full")) {
+    node_counts = args.get_int_list("nodes", {500, 1000, 1500, 2000, 2500});
+    qubits = args.get_int("qubits", 16);
+  } else {
+    node_counts = args.get_int_list("nodes", {100, 200, 300, 400, 500});
+    qubits = args.get_int("qubits", 12);
+  }
+  const double prob = args.get_double("prob", 0.1);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 4));
+  // "Including more statistics" (paper §5): average each series over
+  // several independent graph instances per node count.
+  const int instances = args.get_int("instances", args.has("full") ? 1 : 3);
+
+  std::printf("=== Fig. 4 reproduction: QAOA^2 on large unweighted graphs "
+              "(p_edge = %.2f, device = %d qubits, %d instance(s) per "
+              "point) ===\n\n",
+              prob, qubits, instances);
+
+  qq::util::Table absolute({"nodes", "edges", "Random", "Classic", "QAOA",
+                            "Best", "GW(full)", "seconds"});
+  qq::util::Table relative({"nodes", "Random", "Classic", "QAOA", "Best",
+                            "GW(full)"});
+
+  bool gw_always_best = true;
+  bool best_never_below_single = true;
+  std::vector<double> gw_over_qaoa;
+
+  for (const int nodes : node_counts) {
+    qq::util::Timer timer;
+    double qaoa_value = 0.0, classic_value = 0.0, best_value = 0.0,
+           gw_value = 0.0, random_value = 0.0;
+    std::size_t edges = 0;
+    for (int inst = 0; inst < instances; ++inst) {
+      qq::util::Rng rng(seed + static_cast<std::uint64_t>(nodes) +
+                        1000ULL * static_cast<std::uint64_t>(inst));
+      const auto g = qq::graph::erdos_renyi(
+          static_cast<qq::graph::NodeId>(nodes), prob, rng);
+      edges += g.num_edges();
+
+      qq::qaoa2::Qaoa2Options opts;
+      opts.max_qubits = qubits;
+      opts.qaoa.layers = 2;
+      opts.qaoa.max_iterations = 40;
+      opts.merge_solver = qq::qaoa2::SubSolver::kGw;
+      opts.seed = seed + static_cast<std::uint64_t>(inst);
+      opts.engine = qq::sched::EngineOptions{4, 4};
+
+      opts.sub_solver = qq::qaoa2::SubSolver::kQaoa;
+      qaoa_value += qq::qaoa2::solve_qaoa2(g, opts).cut.value;
+      opts.sub_solver = qq::qaoa2::SubSolver::kGw;
+      classic_value += qq::qaoa2::solve_qaoa2(g, opts).cut.value;
+      opts.sub_solver = qq::qaoa2::SubSolver::kBest;
+      best_value += qq::qaoa2::solve_qaoa2(g, opts).cut.value;
+
+      qq::sdp::GwOptions gw_opts;
+      gw_opts.seed = seed + 9 + static_cast<std::uint64_t>(inst);
+      gw_value += qq::sdp::goemans_williamson(g, gw_opts).best.value;
+
+      qq::util::Rng rand_rng(seed + 17 + static_cast<std::uint64_t>(inst));
+      random_value += qq::maxcut::randomized_partitioning(g, rand_rng).value;
+    }
+    qaoa_value /= instances;
+    classic_value /= instances;
+    best_value /= instances;
+    gw_value /= instances;
+    random_value /= instances;
+    edges /= static_cast<std::size_t>(instances);
+
+    absolute.add_row(
+        {std::to_string(nodes), std::to_string(edges),
+         qq::util::format_double(random_value, 1),
+         qq::util::format_double(classic_value, 1),
+         qq::util::format_double(qaoa_value, 1),
+         qq::util::format_double(best_value, 1),
+         qq::util::format_double(gw_value, 1),
+         qq::util::format_double(timer.seconds(), 1)});
+    relative.add_row({std::to_string(nodes),
+                      qq::util::format_double(random_value / qaoa_value, 3),
+                      qq::util::format_double(classic_value / qaoa_value, 3),
+                      "1.000",
+                      qq::util::format_double(best_value / qaoa_value, 3),
+                      qq::util::format_double(gw_value / qaoa_value, 3)});
+
+    gw_always_best = gw_always_best &&
+                     gw_value >= std::max({qaoa_value, classic_value,
+                                           best_value, random_value});
+    best_never_below_single =
+        best_never_below_single &&
+        best_value >= std::min(qaoa_value, classic_value) - 1e-9;
+    gw_over_qaoa.push_back(gw_value / qaoa_value);
+  }
+
+  std::printf("absolute cut values:\n%s\n", absolute.str().c_str());
+  std::printf("relative to the QAOA series (as plotted in Fig. 4):\n%s\n",
+              relative.str().c_str());
+
+  std::printf("check (paper: GW on full graph superior at these sizes): %s\n",
+              gw_always_best ? "REPRODUCED" : "NOT reproduced");
+  std::printf("check (paper: Best comparable to single-method runs): %s\n",
+              best_never_below_single ? "REPRODUCED" : "NOT reproduced");
+  if (gw_over_qaoa.size() >= 2) {
+    std::printf("check (paper: GW advantage diminishes with node count): "
+                "GW/QAOA ratio %.3f at n=%d -> %.3f at n=%d (%s)\n",
+                gw_over_qaoa.front(), node_counts.front(),
+                gw_over_qaoa.back(), node_counts.back(),
+                gw_over_qaoa.back() < gw_over_qaoa.front()
+                    ? "REPRODUCED"
+                    : "not monotone on this run");
+  }
+  std::printf("\nNote: the paper's GW aborts beyond 2000 nodes (cvxpy/Eigen "
+              "triplet issue); the mixing-method SDP here has no such "
+              "failure point — recorded as a deliberate deviation.\n");
+  return 0;
+}

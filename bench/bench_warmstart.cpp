@@ -1,0 +1,96 @@
+// Warm-start ablation (paper §5: predicting initial parameters "could
+// improve the number of iterations in the hybrid scheme of QAOA while
+// preserving the accuracy"): compare, at equal evaluation budget,
+//   * cold random initialization,
+//   * the adiabatic-style linear ramp,
+//   * INTERP layer-wise growth,
+//   * kNN prediction from a knowledge base of solved instances.
+//
+//   ./bench_warmstart [--nodes 10] [--instances 12] [--layers 4]
+
+#include <cstdio>
+#include <string>
+
+#include "ml/features.hpp"
+#include "ml/knn.hpp"
+#include "qaoa/interp.hpp"
+#include "qaoa/qaoa.hpp"
+#include "qgraph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const qq::util::Args args(argc, argv);
+  const auto nodes = static_cast<qq::graph::NodeId>(args.get_int("nodes", 10));
+  const int instances = args.get_int("instances", 12);
+  const int layers = args.get_int("layers", 4);
+  const int budget = args.get_int("budget", 60);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20));
+
+  std::printf("=== Warm-start ablation at equal budget (%d evaluations, "
+              "p = %d) ===\n\n",
+              budget, layers);
+
+  // Knowledge base for the kNN predictor: optimized parameters on a
+  // training family.
+  qq::util::Rng rng(seed);
+  qq::ml::ParameterKnn store;
+  for (int i = 0; i < 10; ++i) {
+    const auto g = qq::graph::erdos_renyi(nodes, 0.35, rng);
+    if (g.num_edges() == 0) continue;
+    qq::qaoa::QaoaOptions opts;
+    opts.layers = layers;
+    opts.max_iterations = 150;
+    opts.seed = seed + static_cast<std::uint64_t>(i);
+    const auto r = qq::qaoa::solve_qaoa(g, opts);
+    const auto f = qq::ml::graph_features(g);
+    store.add({f.begin(), f.end()}, r.parameters);
+  }
+
+  qq::util::RunningStats cold, ramp, interp, knn;
+  for (int inst = 0; inst < instances; ++inst) {
+    const auto g = qq::graph::erdos_renyi(nodes, 0.35, rng);
+    if (g.num_edges() == 0) continue;
+    const qq::qaoa::QaoaSolver solver(g);
+    const double exact = solver.exact_optimum();
+
+    qq::qaoa::QaoaOptions base;
+    base.layers = layers;
+    base.max_iterations = budget;
+    base.seed = seed + 500 + static_cast<std::uint64_t>(inst);
+
+    qq::qaoa::QaoaOptions cold_opts = base;
+    cold_opts.init = qq::qaoa::InitKind::kRandom;
+    cold.add(solver.optimize(cold_opts).expectation / exact);
+
+    ramp.add(solver.optimize(base).expectation / exact);
+
+    qq::qaoa::QaoaOptions interp_opts = base;
+    interp_opts.max_iterations = budget / layers;  // per stage: equal total
+    interp.add(qq::qaoa::optimize_interp(solver, interp_opts)
+                   .final.expectation /
+               exact);
+
+    const auto f = qq::ml::graph_features(g);
+    qq::qaoa::QaoaOptions knn_opts = base;
+    knn_opts.initial_parameters = store.predict({f.begin(), f.end()}, 3);
+    knn.add(solver.optimize(knn_opts).expectation / exact);
+  }
+
+  qq::util::Table table({"strategy", "mean F_p/optimum", "min", "max"});
+  const auto row = [&table](const char* name, const qq::util::RunningStats& s) {
+    table.add_row({name, qq::util::format_double(s.mean(), 4),
+                   qq::util::format_double(s.min(), 4),
+                   qq::util::format_double(s.max(), 4)});
+  };
+  row("cold random", cold);
+  row("linear ramp", ramp);
+  row("INTERP", interp);
+  row("kNN warm start", knn);
+  std::printf("%s\n", table.str().c_str());
+  std::printf("expected shape: structure-aware starts (ramp / INTERP / kNN) "
+              "dominate the cold random start at a fixed budget — the "
+              "mechanism behind the paper's iteration-saving outlook.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Run-time method selection (the paper's §5 outlook, after Moussa et al.):
+// build a knowledge base by racing QAOA against GW on many small graphs,
+// train the logistic selector on graph features, then use the prediction
+// to route fresh sub-graphs to the better solver.
+//
+//   ./method_selection [--train 40] [--test 12] [--seed 3]
+
+#include <cstdio>
+#include <vector>
+
+#include "ml/features.hpp"
+#include "ml/logreg.hpp"
+#include "qaoa/qaoa.hpp"
+#include "qgraph/generators.hpp"
+#include "sdp/gw.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+struct Labelled {
+  std::vector<double> features;
+  int qaoa_wins = 0;
+  double qaoa_value = 0.0;
+  double gw_value = 0.0;
+};
+
+Labelled race(const qq::graph::Graph& g, std::uint64_t seed) {
+  qq::qaoa::QaoaOptions qopts;
+  qopts.layers = 2;
+  qopts.max_iterations = 40;
+  qopts.seed = seed;
+  const double qaoa_value = qq::qaoa::solve_qaoa(g, qopts).cut.value;
+  qq::sdp::GwOptions gw_opts;
+  gw_opts.seed = seed + 1;
+  const double gw_value =
+      qq::sdp::goemans_williamson(g, gw_opts).average_value;
+  const auto f = qq::ml::graph_features(g);
+  return Labelled{{f.begin(), f.end()},
+                  qaoa_value > gw_value ? 1 : 0,
+                  qaoa_value,
+                  gw_value};
+}
+
+qq::graph::Graph random_instance(qq::util::Rng& rng, int index) {
+  const auto n = static_cast<qq::graph::NodeId>(7 + index % 5);
+  const double p = 0.15 + 0.1 * (index % 4);
+  const auto mode = (index % 2) ? qq::graph::WeightMode::kUniform01
+                                : qq::graph::WeightMode::kUnit;
+  return qq::graph::erdos_renyi(n, p, rng, mode);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const qq::util::Args args(argc, argv);
+  const int train_count = args.get_int("train", 40);
+  const int test_count = args.get_int("test", 12);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  qq::util::Rng rng(seed);
+
+  // 1. Knowledge base: label each instance with "did QAOA beat GW".
+  std::printf("building knowledge base (%d instances)...\n", train_count);
+  std::vector<std::vector<double>> X;
+  std::vector<int> y;
+  for (int i = 0; i < train_count; ++i) {
+    const auto g = random_instance(rng, i);
+    if (g.num_edges() == 0) continue;
+    const Labelled row = race(g, seed + static_cast<std::uint64_t>(i));
+    X.push_back(row.features);
+    y.push_back(row.qaoa_wins);
+  }
+  int wins = 0;
+  for (const int label : y) wins += label;
+  std::printf("  QAOA won %d / %zu races\n", wins, y.size());
+
+  // 2. Train the selector.
+  qq::ml::LogisticRegression model;
+  model.fit(X, y);
+  std::printf("  training accuracy: %.2f\n", model.accuracy(X, y));
+
+  // 3. Use it: for fresh instances, route to the predicted-better method
+  //    and compare against always-QAOA / always-GW / oracle.
+  double routed = 0.0, always_qaoa = 0.0, always_gw = 0.0, oracle = 0.0;
+  for (int i = 0; i < test_count; ++i) {
+    const auto g = random_instance(rng, i + 1000);
+    if (g.num_edges() == 0) continue;
+    const Labelled row = race(g, seed + 9000 + static_cast<std::uint64_t>(i));
+    const bool pick_qaoa = model.predict(row.features) == 1;
+    routed += pick_qaoa ? row.qaoa_value : row.gw_value;
+    always_qaoa += row.qaoa_value;
+    always_gw += row.gw_value;
+    oracle += std::max(row.qaoa_value, row.gw_value);
+  }
+  std::printf("\ntotal cut over %d fresh instances:\n", test_count);
+  std::printf("  always QAOA : %.3f\n", always_qaoa);
+  std::printf("  always GW   : %.3f\n", always_gw);
+  std::printf("  ML-routed   : %.3f\n", routed);
+  std::printf("  oracle      : %.3f\n", oracle);
+  return 0;
+}

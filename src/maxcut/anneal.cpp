@@ -1,0 +1,43 @@
+#include "maxcut/anneal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "maxcut/baselines.hpp"
+
+namespace qq::maxcut {
+
+CutResult simulated_annealing(const graph::Graph& g, util::Rng& rng,
+                              const AnnealOptions& options) {
+  if (options.sweeps < 1 || options.t_initial <= 0.0 ||
+      options.t_final <= 0.0 || options.t_final > options.t_initial) {
+    throw std::invalid_argument("simulated_annealing: bad options");
+  }
+  const graph::NodeId n = g.num_nodes();
+  CutResult cur = randomized_partitioning(g, rng);
+  CutResult best = cur;
+  if (n == 0) return best;
+
+  const double cooling =
+      std::pow(options.t_final / options.t_initial,
+               1.0 / static_cast<double>(options.sweeps));
+  double temperature = options.t_initial;
+
+  for (int sweep = 0; sweep < options.sweeps; ++sweep) {
+    for (graph::NodeId i = 0; i < n; ++i) {
+      const auto u = static_cast<graph::NodeId>(
+          util::uniform_u64(rng, static_cast<std::uint64_t>(n)));
+      const double gain = flip_gain(g, cur.assignment, u);
+      if (gain >= 0.0 ||
+          util::uniform(rng) < std::exp(gain / temperature)) {
+        cur.assignment[static_cast<std::size_t>(u)] ^= 1U;
+        cur.value += gain;
+        if (cur.value > best.value) best = cur;
+      }
+    }
+    temperature *= cooling;
+  }
+  return best;
+}
+
+}  // namespace qq::maxcut

@@ -1,0 +1,20 @@
+#pragma once
+// Simulated annealing for MaxCut (paper §2 mentions it among the classical
+// probabilistic alternatives). Single-flip Metropolis dynamics with a
+// geometric cooling schedule.
+
+#include "maxcut/cut.hpp"
+#include "util/rng.hpp"
+
+namespace qq::maxcut {
+
+struct AnnealOptions {
+  int sweeps = 200;        ///< full passes over the nodes
+  double t_initial = 2.0;  ///< initial temperature (units of edge weight)
+  double t_final = 0.01;   ///< final temperature
+};
+
+CutResult simulated_annealing(const graph::Graph& g, util::Rng& rng,
+                              const AnnealOptions& options = {});
+
+}  // namespace qq::maxcut

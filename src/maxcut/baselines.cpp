@@ -1,0 +1,73 @@
+#include "maxcut/baselines.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace qq::maxcut {
+
+CutResult randomized_partitioning(const graph::Graph& g, util::Rng& rng,
+                                  double p) {
+  Assignment assignment(static_cast<std::size_t>(g.num_nodes()));
+  for (auto& side : assignment) {
+    side = util::bernoulli(rng, p) ? 1 : 0;
+  }
+  return CutResult{assignment, cut_value(g, assignment)};
+}
+
+CutResult one_exchange(const graph::Graph& g, util::Rng& rng) {
+  CutResult cur = randomized_partitioning(g, rng, 0.5);
+  const graph::NodeId n = g.num_nodes();
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const double gain = flip_gain(g, cur.assignment, u);
+      if (gain > 1e-12) {
+        cur.assignment[static_cast<std::size_t>(u)] ^= 1U;
+        cur.value += gain;
+        improved = true;
+      }
+    }
+  }
+  return cur;
+}
+
+CutResult greedy_cut(const graph::Graph& g) {
+  const graph::NodeId n = g.num_nodes();
+  std::vector<graph::NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&g](graph::NodeId a, graph::NodeId b) {
+                     return g.weighted_degree(a) > g.weighted_degree(b);
+                   });
+  Assignment assignment(static_cast<std::size_t>(n), 0);
+  std::vector<char> placed(static_cast<std::size_t>(n), 0);
+  for (const graph::NodeId u : order) {
+    double to_side0 = 0.0;  // cut contribution if u goes to side 0
+    double to_side1 = 0.0;
+    for (const auto& [v, w] : g.neighbors(u)) {
+      if (!placed[static_cast<std::size_t>(v)]) continue;
+      if (assignment[static_cast<std::size_t>(v)] == 0) {
+        to_side1 += w;
+      } else {
+        to_side0 += w;
+      }
+    }
+    assignment[static_cast<std::size_t>(u)] = to_side1 > to_side0 ? 1 : 0;
+    placed[static_cast<std::size_t>(u)] = 1;
+  }
+  return CutResult{assignment, cut_value(g, assignment)};
+}
+
+CutResult one_exchange_restarts(const graph::Graph& g, util::Rng& rng,
+                                int restarts) {
+  CutResult best;
+  best.value = -1.0;
+  for (int r = 0; r < std::max(restarts, 1); ++r) {
+    CutResult candidate = one_exchange(g, rng);
+    if (candidate.value > best.value) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace qq::maxcut

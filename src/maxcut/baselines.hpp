@@ -1,0 +1,29 @@
+#pragma once
+// Classical baselines used throughout the paper's evaluation:
+//   * random partitioning (the "Random" series in Fig. 4, the NetworkX
+//     approximation.maxcut equivalent),
+//   * one-exchange local search (NetworkX one_exchange),
+//   * a deterministic greedy constructive heuristic.
+
+#include "maxcut/cut.hpp"
+#include "util/rng.hpp"
+
+namespace qq::maxcut {
+
+/// Assign each node to a side independently with probability p.
+CutResult randomized_partitioning(const graph::Graph& g, util::Rng& rng,
+                                  double p = 0.5);
+
+/// Start from a random assignment and flip any node with positive gain
+/// until a local optimum (1-exchange neighbourhood) is reached.
+CutResult one_exchange(const graph::Graph& g, util::Rng& rng);
+
+/// Visit nodes in descending weighted-degree order and place each on the
+/// side that maximizes its cut contribution against already-placed nodes.
+CutResult greedy_cut(const graph::Graph& g);
+
+/// Best of `restarts` independent one_exchange runs.
+CutResult one_exchange_restarts(const graph::Graph& g, util::Rng& rng,
+                                int restarts);
+
+}  // namespace qq::maxcut

@@ -1,0 +1,78 @@
+#include "maxcut/exact.hpp"
+
+#include <bit>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace qq::maxcut {
+
+namespace {
+
+/// Enumerate Gray codes for rank range [lo, hi) over `bits` free bits.
+/// Returns the best (value, gray) pair in the range.
+std::pair<double, std::uint64_t> scan_range(const graph::Graph& g,
+                                            int free_bits, std::uint64_t lo,
+                                            std::uint64_t hi) {
+  auto gray = [](std::uint64_t r) { return r ^ (r >> 1); };
+  std::uint64_t code = gray(lo);
+  Assignment assignment =
+      assignment_from_bits(code, g.num_nodes());
+  double value = cut_value(g, assignment);
+  double best_value = value;
+  std::uint64_t best_code = code;
+  for (std::uint64_t r = lo + 1; r < hi; ++r) {
+    // Consecutive Gray codes differ in exactly the bit countr_trailing of r.
+    const int bit = std::countr_zero(r);
+    if (bit >= free_bits) break;  // defensive; cannot happen for r < 2^bits
+    const auto u = static_cast<graph::NodeId>(bit);
+    value += flip_gain(g, assignment, u);
+    assignment[static_cast<std::size_t>(u)] ^= 1U;
+    code ^= (1ULL << bit);
+    if (value > best_value) {
+      best_value = value;
+      best_code = code;
+    }
+  }
+  return {best_value, best_code};
+}
+
+}  // namespace
+
+CutResult solve_exact(const graph::Graph& g) {
+  const graph::NodeId n = g.num_nodes();
+  if (n > 30) {
+    throw std::invalid_argument("solve_exact: limited to 30 nodes");
+  }
+  if (n <= 1) {
+    return CutResult{Assignment(static_cast<std::size_t>(n), 0), 0.0};
+  }
+  // Node n-1 is pinned to side 0: enumerate the remaining n-1 bits.
+  const int free_bits = n - 1;
+  const std::uint64_t total = 1ULL << free_bits;
+
+  std::mutex mutex;
+  double best_value = -1.0;
+  std::uint64_t best_code = 0;
+
+  util::parallel_for_chunks(
+      0, total,
+      [&](std::size_t lo, std::size_t hi) {
+        const auto [value, code] = scan_range(g, free_bits, lo, hi);
+        std::lock_guard<std::mutex> lock(mutex);
+        if (value > best_value ||
+            (value == best_value && code < best_code)) {
+          best_value = value;
+          best_code = code;
+        }
+      },
+      /*grain=*/1 << 12);
+
+  CutResult out;
+  out.assignment = assignment_from_bits(best_code, n);
+  out.value = best_value;
+  return out;
+}
+
+}  // namespace qq::maxcut

@@ -1,0 +1,15 @@
+#pragma once
+// Exact MaxCut by exhaustive enumeration — the ground truth for every
+// approximation-quality test and for the small-graph comparisons in the
+// reproduction harnesses.
+
+#include "maxcut/cut.hpp"
+
+namespace qq::maxcut {
+
+/// Enumerates all 2^(n-1) distinct cuts (node 0 pinned to side 0 by the
+/// global flip symmetry) with Gray-code incremental updates, parallelized
+/// across the global thread pool. Throws for n > 30.
+CutResult solve_exact(const graph::Graph& g);
+
+}  // namespace qq::maxcut

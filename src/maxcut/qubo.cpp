@@ -1,0 +1,60 @@
+#include "maxcut/qubo.hpp"
+
+#include <stdexcept>
+
+namespace qq::maxcut {
+
+double IsingModel::energy(const Assignment& assignment) const {
+  if (assignment.size() != static_cast<std::size_t>(num_spins)) {
+    throw std::invalid_argument("IsingModel::energy: size mismatch");
+  }
+  double e = 0.0;
+  for (const IsingTerm& t : terms) {
+    const double si = assignment[static_cast<std::size_t>(t.i)] ? -1.0 : 1.0;
+    const double sj = assignment[static_cast<std::size_t>(t.j)] ? -1.0 : 1.0;
+    e += t.coupling * si * sj;
+  }
+  return e;
+}
+
+IsingModel maxcut_to_ising(const graph::Graph& g) {
+  IsingModel model;
+  model.num_spins = g.num_nodes();
+  model.total_weight = g.total_weight();
+  model.terms.reserve(g.num_edges());
+  for (const graph::Edge& e : g.edges()) {
+    model.terms.push_back(IsingTerm{e.u, e.v, e.w});
+  }
+  return model;
+}
+
+std::vector<double> maxcut_to_qubo(const graph::Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<double> q(n * n, 0.0);
+  for (const graph::Edge& e : g.edges()) {
+    const auto u = static_cast<std::size_t>(e.u);
+    const auto v = static_cast<std::size_t>(e.v);
+    q[u * n + u] += e.w;
+    q[v * n + v] += e.w;
+    q[u * n + v] -= e.w;
+    q[v * n + u] -= e.w;
+  }
+  return q;
+}
+
+double qubo_value(const std::vector<double>& q, const Assignment& x) {
+  const std::size_t n = x.size();
+  if (q.size() != n * n) {
+    throw std::invalid_argument("qubo_value: matrix/assignment size mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!x[i]) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (x[j]) sum += q[i * n + j];
+    }
+  }
+  return sum;
+}
+
+}  // namespace qq::maxcut

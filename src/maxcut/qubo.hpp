@@ -1,0 +1,44 @@
+#pragma once
+// MaxCut <-> Ising / QUBO mappings (paper §1 notes the QUBO formulation
+// used by annealers; Eq. 1 gives the Ising problem Hamiltonian).
+//
+// Conventions:
+//   * spins s_i in {+1, -1} with s_i = 1 - 2 x_i for binary x_i in {0, 1};
+//   * Ising energy E(s) = Σ_{(i,j) in E} w_ij s_i s_j;
+//   * cut(x) = (W - E(s)) / 2 with W the total edge weight, matching the
+//     problem Hamiltonian H_C = 1/2 Σ w_ij (1 - Z_i Z_j).
+
+#include <vector>
+
+#include "maxcut/cut.hpp"
+
+namespace qq::maxcut {
+
+struct IsingTerm {
+  graph::NodeId i;
+  graph::NodeId j;
+  double coupling;  ///< J_ij
+};
+
+/// Zero-field Ising model equivalent to a MaxCut instance.
+struct IsingModel {
+  graph::NodeId num_spins = 0;
+  std::vector<IsingTerm> terms;
+  double total_weight = 0.0;
+
+  /// E(s) for the spin configuration implied by a 0/1 assignment.
+  double energy(const Assignment& assignment) const;
+  /// cut(x) = (W - E)/2 — must equal maxcut::cut_value on the source graph.
+  double cut_from_energy(double e) const { return 0.5 * (total_weight - e); }
+};
+
+IsingModel maxcut_to_ising(const graph::Graph& g);
+
+/// Dense symmetric QUBO matrix Q with cut(x) = x^T Q x for binary x
+/// (row-major, n*n). Q_ii = Σ_j w_ij, Q_ij = -w_ij for i != j.
+std::vector<double> maxcut_to_qubo(const graph::Graph& g);
+
+/// Evaluate x^T Q x for binary x.
+double qubo_value(const std::vector<double>& q, const Assignment& x);
+
+}  // namespace qq::maxcut

@@ -1,0 +1,75 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qq::ml {
+
+void ParameterKnn::add(std::vector<double> features,
+                       std::vector<double> parameters) {
+  if (!rows_.empty()) {
+    if (features.size() != rows_.front().features.size() ||
+        parameters.size() != rows_.front().parameters.size()) {
+      throw std::invalid_argument("ParameterKnn::add: dimension mismatch");
+    }
+  }
+  rows_.push_back(Row{std::move(features), std::move(parameters)});
+}
+
+std::vector<double> ParameterKnn::predict(const std::vector<double>& features,
+                                          int k) const {
+  if (rows_.empty()) {
+    throw std::logic_error("ParameterKnn::predict: empty store");
+  }
+  if (features.size() != rows_.front().features.size()) {
+    throw std::invalid_argument("ParameterKnn::predict: feature mismatch");
+  }
+  if (k < 1) throw std::invalid_argument("ParameterKnn::predict: k < 1");
+  const std::size_t d = features.size();
+
+  // Per-feature range normalization over the store.
+  std::vector<double> lo(d, 0.0), hi(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    lo[j] = hi[j] = rows_.front().features[j];
+    for (const Row& r : rows_) {
+      lo[j] = std::min(lo[j], r.features[j]);
+      hi[j] = std::max(hi[j], r.features[j]);
+    }
+  }
+  auto distance = [&](const std::vector<double>& a,
+                      const std::vector<double>& b) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double range = hi[j] - lo[j];
+      const double diff = range > 1e-12 ? (a[j] - b[j]) / range : 0.0;
+      sum += diff * diff;
+    }
+    return std::sqrt(sum);
+  };
+
+  std::vector<std::pair<double, std::size_t>> ranked;
+  ranked.reserve(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    ranked.emplace_back(distance(features, rows_[i].features), i);
+  }
+  const std::size_t kk =
+      std::min<std::size_t>(static_cast<std::size_t>(k), ranked.size());
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<std::ptrdiff_t>(kk),
+                    ranked.end());
+
+  const std::size_t pdim = rows_.front().parameters.size();
+  std::vector<double> out(pdim, 0.0);
+  double weight_sum = 0.0;
+  for (std::size_t r = 0; r < kk; ++r) {
+    const double w = 1.0 / (ranked[r].first + 1e-9);
+    weight_sum += w;
+    const auto& params = rows_[ranked[r].second].parameters;
+    for (std::size_t j = 0; j < pdim; ++j) out[j] += w * params[j];
+  }
+  for (double& v : out) v /= weight_sum;
+  return out;
+}
+
+}  // namespace qq::ml

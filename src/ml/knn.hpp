@@ -1,0 +1,33 @@
+#pragma once
+// k-nearest-neighbour warm start for QAOA angles (paper §2: "with a large
+// dataset of QAOA results, a neural network can be trained to predict
+// initial parameters for subsequent QAOA simulations" — this is the
+// lightweight instance-based variant; it feeds QaoaOptions via the caller).
+
+#include <vector>
+
+namespace qq::ml {
+
+class ParameterKnn {
+ public:
+  /// Record a solved instance: feature vector and its optimized parameter
+  /// vector. All parameter vectors in one store must share a dimension.
+  void add(std::vector<double> features, std::vector<double> parameters);
+
+  std::size_t size() const noexcept { return rows_.size(); }
+
+  /// Inverse-distance-weighted average of the parameters of the k nearest
+  /// stored instances (features standardized by the store's ranges).
+  /// Throws when the store is empty.
+  std::vector<double> predict(const std::vector<double>& features,
+                              int k = 3) const;
+
+ private:
+  struct Row {
+    std::vector<double> features;
+    std::vector<double> parameters;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace qq::ml

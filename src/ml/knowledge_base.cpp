@@ -1,0 +1,98 @@
+#include "ml/knowledge_base.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qq::ml {
+
+void KnowledgeBase::add(KbRecord record) {
+  if (record.parameters.size() !=
+      static_cast<std::size_t>(2 * record.layers)) {
+    throw std::invalid_argument(
+        "KnowledgeBase::add: parameters must have size 2 * layers");
+  }
+  records_.push_back(std::move(record));
+}
+
+void KnowledgeBase::to_dataset(std::vector<std::vector<double>>& X,
+                               std::vector<int>& y) const {
+  X.clear();
+  y.clear();
+  X.reserve(records_.size());
+  y.reserve(records_.size());
+  for (const KbRecord& r : records_) {
+    X.emplace_back(r.features.begin(), r.features.end());
+    y.push_back(r.qaoa_won() ? 1 : 0);
+  }
+}
+
+ParameterKnn KnowledgeBase::to_parameter_knn(int layers) const {
+  ParameterKnn knn;
+  for (const KbRecord& r : records_) {
+    if (r.layers != layers) continue;
+    knn.add({r.features.begin(), r.features.end()}, r.parameters);
+  }
+  return knn;
+}
+
+void KnowledgeBase::save(std::ostream& os) const {
+  os << "# qq knowledge base v1: f0..f" << (kNumFeatures - 1)
+     << ",layers,rhobeg,qaoa_value,gw_value,params...\n";
+  os.precision(17);
+  for (const KbRecord& r : records_) {
+    for (const double f : r.features) os << f << ',';
+    os << r.layers << ',' << r.rhobeg << ',' << r.qaoa_value << ','
+       << r.gw_value;
+    for (const double p : r.parameters) os << ',' << p;
+    os << '\n';
+  }
+}
+
+KnowledgeBase KnowledgeBase::load(std::istream& is) {
+  KnowledgeBase kb;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<double> cells;
+    std::stringstream ss(line);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      cells.push_back(std::stod(token));
+    }
+    if (cells.size() < kNumFeatures + 4) {
+      throw std::runtime_error("KnowledgeBase::load: short record");
+    }
+    KbRecord r;
+    for (std::size_t i = 0; i < kNumFeatures; ++i) r.features[i] = cells[i];
+    r.layers = static_cast<int>(cells[kNumFeatures]);
+    r.rhobeg = cells[kNumFeatures + 1];
+    r.qaoa_value = cells[kNumFeatures + 2];
+    r.gw_value = cells[kNumFeatures + 3];
+    r.parameters.assign(cells.begin() + kNumFeatures + 4, cells.end());
+    if (r.parameters.size() != static_cast<std::size_t>(2 * r.layers)) {
+      throw std::runtime_error(
+          "KnowledgeBase::load: parameter count does not match layers");
+    }
+    kb.records_.push_back(std::move(r));
+  }
+  return kb;
+}
+
+void KnowledgeBase::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("KnowledgeBase::save_file: cannot open " + path);
+  }
+  save(os);
+}
+
+KnowledgeBase KnowledgeBase::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("KnowledgeBase::load_file: cannot open " + path);
+  }
+  return load(is);
+}
+
+}  // namespace qq::ml

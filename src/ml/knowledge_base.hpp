@@ -1,0 +1,58 @@
+#pragma once
+// Persistent knowledge base of QAOA-vs-GW race outcomes.
+//
+// The paper builds its Fig. 3 "knowledge base about which type of
+// parameterization of QAOA is more suitable for a type of graph" in-memory
+// per run; §5 envisions "a large dataset of QAOA results" feeding method
+// selection and parameter prediction. This module persists that dataset as
+// a plain CSV so sweeps accumulate across sessions, and adapts it to the
+// logistic selector and the kNN warm start.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ml/features.hpp"
+#include "ml/knn.hpp"
+
+namespace qq::ml {
+
+struct KbRecord {
+  std::array<double, kNumFeatures> features{};
+  int layers = 0;          ///< p used by the winning QAOA run
+  double rhobeg = 0.0;     ///< COBYLA rhobeg of that run
+  double qaoa_value = 0.0; ///< best QAOA cut on the instance
+  double gw_value = 0.0;   ///< GW average-of-slicings on the instance
+  /// Optimized [gamma..., beta...] of the best QAOA run (2 * layers).
+  std::vector<double> parameters;
+
+  bool qaoa_won() const noexcept { return qaoa_value > gw_value; }
+};
+
+class KnowledgeBase {
+ public:
+  void add(KbRecord record);
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  const std::vector<KbRecord>& records() const noexcept { return records_; }
+
+  /// Labelled dataset for the logistic QAOA-vs-GW selector.
+  void to_dataset(std::vector<std::vector<double>>& X,
+                  std::vector<int>& y) const;
+
+  /// kNN store over the records with exactly `layers` layers (parameter
+  /// vectors must share a dimension).
+  ParameterKnn to_parameter_knn(int layers) const;
+
+  // CSV persistence. Format (one record per line):
+  //   f0,...,f9,layers,rhobeg,qaoa_value,gw_value,param0,param1,...
+  void save(std::ostream& os) const;
+  static KnowledgeBase load(std::istream& is);
+  void save_file(const std::string& path) const;
+  static KnowledgeBase load_file(const std::string& path);
+
+ private:
+  std::vector<KbRecord> records_;
+};
+
+}  // namespace qq::ml

@@ -1,0 +1,105 @@
+#include "ml/logreg.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace qq::ml {
+
+namespace {
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+void LogisticRegression::fit(const std::vector<std::vector<double>>& X,
+                             const std::vector<int>& y,
+                             const LogRegOptions& options) {
+  if (X.empty() || X.size() != y.size()) {
+    throw std::invalid_argument("LogisticRegression::fit: bad dataset");
+  }
+  const std::size_t n = X.size();
+  const std::size_t d = X[0].size();
+  for (const auto& row : X) {
+    if (row.size() != d) {
+      throw std::invalid_argument("LogisticRegression::fit: ragged rows");
+    }
+  }
+
+  // Per-feature standardization (stored for inference).
+  mean_.assign(d, 0.0);
+  scale_.assign(d, 1.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    util::RunningStats s;
+    for (const auto& row : X) s.add(row[j]);
+    mean_[j] = s.mean();
+    scale_[j] = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+  }
+  std::vector<std::vector<double>> Z(n, std::vector<double>(d));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      Z[i][j] = (X[i][j] - mean_[j]) / scale_[j];
+    }
+  }
+
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng(options.seed ^ 0x109e9ULL);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fisher-Yates shuffle for SGD epoch order.
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[util::uniform_u64(rng, i)]);
+    }
+    const double lr =
+        options.learning_rate / (1.0 + 0.01 * static_cast<double>(epoch));
+    for (const std::size_t i : order) {
+      double z = bias_;
+      for (std::size_t j = 0; j < d; ++j) z += weights_[j] * Z[i][j];
+      const double err = sigmoid(z) - static_cast<double>(y[i]);
+      for (std::size_t j = 0; j < d; ++j) {
+        weights_[j] -= lr * (err * Z[i][j] + options.l2 * weights_[j]);
+      }
+      bias_ -= lr * err;
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::standardize(
+    const std::vector<double>& x) const {
+  if (x.size() != mean_.size()) {
+    throw std::invalid_argument("LogisticRegression: feature size mismatch");
+  }
+  std::vector<double> z(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    z[j] = (x[j] - mean_[j]) / scale_[j];
+  }
+  return z;
+}
+
+double LogisticRegression::predict_proba(const std::vector<double>& x) const {
+  if (!trained()) {
+    throw std::logic_error("LogisticRegression: predict before fit");
+  }
+  const auto z = standardize(x);
+  double s = bias_;
+  for (std::size_t j = 0; j < z.size(); ++j) s += weights_[j] * z[j];
+  return sigmoid(s);
+}
+
+double LogisticRegression::accuracy(const std::vector<std::vector<double>>& X,
+                                    const std::vector<int>& y) const {
+  if (X.size() != y.size() || X.empty()) {
+    throw std::invalid_argument("LogisticRegression::accuracy: bad dataset");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    if (predict(X[i]) == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(X.size());
+}
+
+}  // namespace qq::ml

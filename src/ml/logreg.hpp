@@ -1,0 +1,45 @@
+#pragma once
+// From-scratch L2-regularized logistic regression — the "to quantum or not
+// to quantum" selector: given graph features, predict whether QAOA will
+// beat GW on that sub-graph. Features are standardized internally.
+
+#include <cstdint>
+#include <vector>
+
+namespace qq::ml {
+
+struct LogRegOptions {
+  int epochs = 500;
+  double learning_rate = 0.1;
+  double l2 = 1e-3;
+  std::uint64_t seed = 0;  ///< shuffling seed
+};
+
+class LogisticRegression {
+ public:
+  /// X: row-major feature rows; y: 0/1 labels.
+  void fit(const std::vector<std::vector<double>>& X,
+           const std::vector<int>& y, const LogRegOptions& options = {});
+
+  double predict_proba(const std::vector<double>& x) const;
+  int predict(const std::vector<double>& x) const {
+    return predict_proba(x) >= 0.5 ? 1 : 0;
+  }
+
+  /// Fraction of correct predictions on a labelled set.
+  double accuracy(const std::vector<std::vector<double>>& X,
+                  const std::vector<int>& y) const;
+
+  bool trained() const noexcept { return !weights_.empty(); }
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  std::vector<double> standardize(const std::vector<double>& x) const;
+
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+}  // namespace qq::ml

@@ -1,0 +1,201 @@
+#include "optim/cobyla.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace qq::optim {
+
+namespace {
+
+/// Solve the n x n system A x = b with partial pivoting. Returns false when
+/// A is numerically singular (degenerate simplex).
+bool solve_linear(std::vector<double> a, std::vector<double> b,
+                  std::size_t n, std::vector<double>& x) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double pmax = std::abs(a[perm[col] * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a[perm[r] * n + col]);
+      if (v > pmax) {
+        pmax = v;
+        pivot = r;
+      }
+    }
+    if (pmax < 1e-14) return false;
+    std::swap(perm[col], perm[pivot]);
+    const double diag = a[perm[col] * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[perm[r] * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) {
+        a[perm[r] * n + c] -= factor * a[perm[col] * n + c];
+      }
+      b[perm[r]] -= factor * b[perm[col]];
+    }
+  }
+  x.assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[perm[i]];
+    for (std::size_t c = i + 1; c < n; ++c) {
+      sum -= a[perm[i] * n + c] * x[c];
+    }
+    x[i] = sum / (a[perm[i] * n + i]);
+  }
+  return true;
+}
+
+struct Simplex {
+  std::vector<std::vector<double>> points;  // n+1 vertices
+  std::vector<double> values;
+
+  std::size_t dim() const { return points.empty() ? 0 : points[0].size(); }
+
+  std::size_t best_index() const {
+    return static_cast<std::size_t>(
+        std::min_element(values.begin(), values.end()) - values.begin());
+  }
+  std::size_t worst_index() const {
+    return static_cast<std::size_t>(
+        std::max_element(values.begin(), values.end()) - values.begin());
+  }
+};
+
+}  // namespace
+
+Result cobyla_minimize(const Objective& objective, std::vector<double> x0,
+                       const CobylaOptions& options) {
+  const std::size_t n = x0.size();
+  if (n == 0) {
+    throw std::invalid_argument("cobyla_minimize: empty start point");
+  }
+  if (!(options.rhobeg > 0.0) || !(options.rhoend > 0.0) ||
+      options.rhoend > options.rhobeg) {
+    throw std::invalid_argument(
+        "cobyla_minimize: need 0 < rhoend <= rhobeg");
+  }
+
+  Result result;
+  result.x = x0;
+  result.fx = std::numeric_limits<double>::infinity();
+
+  auto evaluate = [&](const std::vector<double>& x) {
+    const double fx = objective(x);
+    ++result.evaluations;
+    if (fx < result.fx) {
+      result.fx = fx;
+      result.x = x;
+    }
+    return fx;
+  };
+
+  double rho = options.rhobeg;
+  Simplex simplex;
+
+  // Build an axis-aligned simplex of edge `radius` around `center`.
+  // Consumes n+1 evaluations (the center value may be passed in).
+  auto rebuild = [&](const std::vector<double>& center, double radius,
+                     double center_value, bool have_center_value) {
+    simplex.points.assign(1, center);
+    simplex.values.assign(
+        1, have_center_value ? center_value : evaluate(center));
+    for (std::size_t i = 0; i < n && result.evaluations < options.maxfun;
+         ++i) {
+      std::vector<double> p = center;
+      p[i] += radius;
+      simplex.points.push_back(p);
+      simplex.values.push_back(evaluate(p));
+    }
+  };
+
+  rebuild(x0, rho, 0.0, false);
+
+  // Rebuilds are expensive (n evaluations); trigger one only when rho has
+  // shrunk well below the scale the current simplex was built at, or when
+  // the geometry degenerates.
+  double simplex_scale = rho;
+
+  std::vector<double> a(n * n), b(n), gradient(n);
+  while (result.evaluations < options.maxfun) {
+    if (simplex.points.size() < n + 1) break;  // budget died mid-rebuild
+    const std::size_t best = simplex.best_index();
+    const auto& xb = simplex.points[best];
+    const double fb = simplex.values[best];
+
+    // Linear interpolation model through the simplex: rows of A are the
+    // offsets of the other vertices from the best one.
+    std::size_t row = 0;
+    for (std::size_t i = 0; i < simplex.points.size(); ++i) {
+      if (i == best) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a[row * n + c] = simplex.points[i][c] - xb[c];
+      }
+      b[row] = simplex.values[i] - fb;
+      ++row;
+    }
+    const bool solvable = solve_linear(a, b, n, gradient);
+    const double gnorm =
+        solvable ? std::sqrt(std::inner_product(gradient.begin(),
+                                                gradient.end(),
+                                                gradient.begin(), 0.0))
+                 : 0.0;
+
+    if (!solvable || gnorm < 1e-12) {
+      // Degenerate geometry or flat model at this resolution: refine rho
+      // and refresh the simplex at the new scale.
+      if (rho <= options.rhoend) {
+        result.converged = true;
+        break;
+      }
+      rho = std::max(0.5 * rho, options.rhoend);
+      simplex_scale = rho;
+      rebuild(result.x, rho, result.fx, true);
+      continue;
+    }
+
+    // Trust-region step: steepest descent of length rho on the model.
+    std::vector<double> trial = xb;
+    for (std::size_t c = 0; c < n; ++c) {
+      trial[c] -= rho * gradient[c] / gnorm;
+    }
+    const double f_trial = evaluate(trial);
+    const double predicted = rho * gnorm;  // model reduction
+    const double actual = fb - f_trial;
+
+    const std::size_t worst = simplex.worst_index();
+    if (actual > 0.1 * predicted) {
+      // Successful step: the trial displaces the worst vertex, and a very
+      // accurate model earns its radius back (never above rhobeg).
+      simplex.points[worst] = std::move(trial);
+      simplex.values[worst] = f_trial;
+      if (actual > 0.7 * predicted) {
+        rho = std::min(1.6 * rho, options.rhobeg);
+      }
+    } else {
+      // Unsuccessful at this resolution. Keep the information if it beats
+      // the worst vertex, then lower the resolution. The simplex is kept
+      // (a rebuild costs n evaluations) until rho falls far below the
+      // scale it was built at.
+      if (f_trial < simplex.values[worst]) {
+        simplex.points[worst] = std::move(trial);
+        simplex.values[worst] = f_trial;
+      }
+      if (rho <= options.rhoend) {
+        result.converged = true;
+        break;
+      }
+      rho = std::max(0.5 * rho, options.rhoend);
+      if (rho < 0.25 * simplex_scale) {
+        simplex_scale = rho;
+        rebuild(result.x, rho, result.fx, true);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace qq::optim

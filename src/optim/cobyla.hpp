@@ -1,0 +1,28 @@
+#pragma once
+// COBYLA-style derivative-free trust-region optimizer.
+//
+// The paper drives QAOA with SciPy's COBYLA and sweeps its `rhobeg`
+// parameter (initial change to the variables) over {0.1 ... 0.5} — rhobeg is
+// therefore a first-class citizen here. This implementation keeps the core
+// of Powell's method for the unconstrained case (QAOA angles are
+// unconstrained): a non-degenerate simplex of n+1 points carries a linear
+// interpolation model; steps are steepest-descent moves of length rho on
+// that model; rho only ever shrinks, from rhobeg down to rhoend, with a
+// simplex rebuild around the incumbent at every shrink. The constraint
+// machinery of the original (which MaxCut-QAOA never engages) is omitted —
+// see DESIGN.md "Substitutions".
+
+#include "optim/optimizer.hpp"
+
+namespace qq::optim {
+
+struct CobylaOptions {
+  double rhobeg = 0.5;   ///< initial trust-region radius / simplex edge
+  double rhoend = 1e-4;  ///< final radius; convergence once reached
+  int maxfun = 100;      ///< budget of objective evaluations
+};
+
+Result cobyla_minimize(const Objective& objective, std::vector<double> x0,
+                       const CobylaOptions& options = {});
+
+}  // namespace qq::optim

@@ -1,0 +1,111 @@
+#include "optim/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace qq::optim {
+
+Result nelder_mead_minimize(const Objective& objective, std::vector<double> x0,
+                            const NelderMeadOptions& options) {
+  const std::size_t n = x0.size();
+  if (n == 0) {
+    throw std::invalid_argument("nelder_mead_minimize: empty start point");
+  }
+  // Standard coefficients (reflection, expansion, contraction, shrink).
+  const double alpha = 1.0, gamma = 2.0, rho_c = 0.5, sigma = 0.5;
+
+  Result result;
+  result.fx = std::numeric_limits<double>::infinity();
+  auto evaluate = [&](const std::vector<double>& x) {
+    const double fx = objective(x);
+    ++result.evaluations;
+    if (fx < result.fx) {
+      result.fx = fx;
+      result.x = x;
+    }
+    return fx;
+  };
+
+  std::vector<std::vector<double>> pts(n + 1, x0);
+  std::vector<double> vals(n + 1);
+  vals[0] = evaluate(pts[0]);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i + 1][i] += options.step;
+    vals[i + 1] = evaluate(pts[i + 1]);
+    if (result.evaluations >= options.maxfun) return result;
+  }
+
+  std::vector<std::size_t> order(n + 1);
+  std::vector<double> centroid(n), xr(n), xe(n), xc(n);
+
+  while (result.evaluations < options.maxfun) {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&vals](std::size_t i, std::size_t j) { return vals[i] < vals[j]; });
+    const std::size_t lo = order.front();
+    const std::size_t hi = order.back();
+    const std::size_t second_hi = order[n - 1];
+
+    if (std::abs(vals[hi] - vals[lo]) <
+        options.ftol * (std::abs(vals[hi]) + std::abs(vals[lo]) + 1e-30)) {
+      result.converged = true;
+      break;
+    }
+
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == hi) continue;
+      for (std::size_t c = 0; c < n; ++c) centroid[c] += pts[i][c];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    for (std::size_t c = 0; c < n; ++c) {
+      xr[c] = centroid[c] + alpha * (centroid[c] - pts[hi][c]);
+    }
+    const double fr = evaluate(xr);
+
+    if (fr < vals[lo]) {
+      for (std::size_t c = 0; c < n; ++c) {
+        xe[c] = centroid[c] + gamma * (xr[c] - centroid[c]);
+      }
+      const double fe = evaluate(xe);
+      if (fe < fr) {
+        pts[hi] = xe;
+        vals[hi] = fe;
+      } else {
+        pts[hi] = xr;
+        vals[hi] = fr;
+      }
+    } else if (fr < vals[second_hi]) {
+      pts[hi] = xr;
+      vals[hi] = fr;
+    } else {
+      const bool outside = fr < vals[hi];
+      const auto& base = outside ? xr : pts[hi];
+      for (std::size_t c = 0; c < n; ++c) {
+        xc[c] = centroid[c] + rho_c * (base[c] - centroid[c]);
+      }
+      const double fc = evaluate(xc);
+      if (fc < std::min(fr, vals[hi])) {
+        pts[hi] = xc;
+        vals[hi] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == lo) continue;
+          for (std::size_t c = 0; c < n; ++c) {
+            pts[i][c] = pts[lo][c] + sigma * (pts[i][c] - pts[lo][c]);
+          }
+          vals[i] = evaluate(pts[i]);
+          if (result.evaluations >= options.maxfun) return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace qq::optim

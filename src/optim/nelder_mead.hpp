@@ -1,0 +1,19 @@
+#pragma once
+// Nelder–Mead downhill simplex — the alternative classical optimizer kept
+// alongside COBYLA so the QAOA driver can swap optimizers (and tests can
+// cross-check convergence behaviour).
+
+#include "optim/optimizer.hpp"
+
+namespace qq::optim {
+
+struct NelderMeadOptions {
+  double step = 0.5;    ///< initial simplex edge length
+  double ftol = 1e-9;   ///< spread-of-values convergence threshold
+  int maxfun = 400;     ///< budget of objective evaluations
+};
+
+Result nelder_mead_minimize(const Objective& objective, std::vector<double> x0,
+                            const NelderMeadOptions& options = {});
+
+}  // namespace qq::optim

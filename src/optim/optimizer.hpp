@@ -1,0 +1,23 @@
+#pragma once
+// Common types for the derivative-free optimizers driving the QAOA
+// classical loop (paper §3.2: "⃗γ and ⃗β values are changed in each
+// iteration by a classical optimizer").
+
+#include <functional>
+#include <vector>
+
+namespace qq::optim {
+
+/// Objective to MINIMIZE. QAOA maximizes F_p and therefore feeds -F_p.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct Result {
+  std::vector<double> x;
+  double fx = 0.0;
+  int evaluations = 0;
+  /// True when the radius/size tolerance was reached before the evaluation
+  /// budget ran out.
+  bool converged = false;
+};
+
+}  // namespace qq::optim

@@ -1,0 +1,19 @@
+#pragma once
+// Per-basis-state cut-value table: entry s holds cut(s) for the bit-string
+// partition s. This is the diagonal of H_C (Eq. 1), enabling
+//   * cost layers as one elementwise phase sweep,
+//   * <H_C> as one weighted reduction,
+// which is what makes the grid searches of the paper's Fig. 3 tractable on
+// a single box.
+
+#include <vector>
+
+#include "qgraph/graph.hpp"
+
+namespace qq::qaoa {
+
+/// Dense table of size 2^n (n = g.num_nodes()); throws beyond the
+/// simulator's qubit cap. Parallelized over the global thread pool.
+std::vector<double> build_cut_table(const graph::Graph& g);
+
+}  // namespace qq::qaoa

@@ -1,0 +1,52 @@
+#include "qaoa/interp.hpp"
+
+#include <stdexcept>
+
+namespace qq::qaoa {
+
+std::vector<double> interp_schedule(const std::vector<double>& schedule) {
+  const std::size_t p = schedule.size();
+  if (p == 0) {
+    throw std::invalid_argument("interp_schedule: empty schedule");
+  }
+  std::vector<double> out(p + 1);
+  for (std::size_t i = 1; i <= p + 1; ++i) {
+    const double left = i >= 2 ? schedule[i - 2] : 0.0;
+    const double right = i <= p ? schedule[i - 1] : 0.0;
+    out[i - 1] = (static_cast<double>(i - 1) / static_cast<double>(p)) * left +
+                 (static_cast<double>(p - i + 1) / static_cast<double>(p)) *
+                     right;
+  }
+  return out;
+}
+
+InterpResult optimize_interp(const QaoaSolver& solver,
+                             const QaoaOptions& options) {
+  if (options.layers < 1) {
+    throw std::invalid_argument("optimize_interp: layers must be >= 1");
+  }
+  InterpResult result;
+  std::vector<double> warm;  // empty at p = 1: use the configured init
+  QaoaResult stage_result;
+  for (int p = 1; p <= options.layers; ++p) {
+    QaoaOptions stage = options;
+    stage.layers = p;
+    stage.initial_parameters = warm;
+    stage.seed = options.seed + static_cast<std::uint64_t>(p) * 0x9e37ULL;
+    stage_result = solver.optimize(stage);
+    result.total_evaluations += stage_result.evaluations;
+    result.stage_expectations.push_back(stage_result.expectation);
+    if (p < options.layers) {
+      const circuit::QaoaAngles angles =
+          circuit::unpack_angles(stage_result.parameters);
+      circuit::QaoaAngles next;
+      next.gammas = interp_schedule(angles.gammas);
+      next.betas = interp_schedule(angles.betas);
+      warm = circuit::pack_angles(next);
+    }
+  }
+  result.final = std::move(stage_result);
+  return result;
+}
+
+}  // namespace qq::qaoa

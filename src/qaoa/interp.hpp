@@ -1,0 +1,32 @@
+#pragma once
+// Layer-wise INTERP parameter strategy (Zhou, Wang, Choi, Pichler, Lukin —
+// PRX 10, 021067, cited by the paper as ref. 42): optimize the p-layer
+// ansatz, linearly interpolate the optimized (gamma, beta) schedule onto
+// p+1 layers as the next initialization, and repeat up to the target
+// depth. This is the classical-side improvement the paper's §5 outlook
+// points at ("predict initial parameters for subsequent QAOA simulations
+// ... improve the number of iterations while preserving the accuracy").
+
+#include "qaoa/qaoa.hpp"
+
+namespace qq::qaoa {
+
+struct InterpResult {
+  QaoaResult final;  ///< result at the target depth
+  /// Expectation after each stage (index 0 = p = 1).
+  std::vector<double> stage_expectations;
+  int total_evaluations = 0;
+};
+
+/// Grow the ansatz one layer at a time from p = 1 to options.layers.
+/// Each stage consumes the per-stage budget implied by `options`
+/// (max_iterations, or the paper schedule for the stage's depth).
+InterpResult optimize_interp(const QaoaSolver& solver,
+                             const QaoaOptions& options);
+
+/// INTERP's interpolation rule: produce the (p+1)-point schedule from a
+/// p-point one:  x'_i = ((i-1)/p) x_{i-1} + ((p-i+1)/p) x_i, 1-indexed,
+/// with x_0 = x_{p+1} = 0. Exposed for tests.
+std::vector<double> interp_schedule(const std::vector<double>& schedule);
+
+}  // namespace qq::qaoa

@@ -1,0 +1,167 @@
+#include "qaoa/qaoa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "optim/cobyla.hpp"
+#include "optim/nelder_mead.hpp"
+#include "qaoa/cost_table.hpp"
+#include "qsim/measure.hpp"
+
+namespace qq::qaoa {
+
+int paper_iteration_schedule(int layers) {
+  return std::clamp(30 + 14 * (layers - 3), 30, 100);
+}
+
+QaoaSolver::QaoaSolver(const graph::Graph& g)
+    : graph_(&g), cut_table_(build_cut_table(g)) {
+  exact_optimum_ =
+      cut_table_.empty()
+          ? 0.0
+          : *std::max_element(cut_table_.begin(), cut_table_.end());
+}
+
+sim::StateVector QaoaSolver::state(const circuit::QaoaAngles& angles) const {
+  if (angles.gammas.size() != angles.betas.size()) {
+    throw std::invalid_argument("QaoaSolver::state: layer mismatch");
+  }
+  const int n = graph_->num_nodes();
+  sim::StateVector sv = sim::StateVector::plus_state(n);
+  for (std::size_t layer = 0; layer < angles.layers(); ++layer) {
+    // Cost layer e^{-i gamma H_C}: one diagonal sweep over the cut table.
+    sv.apply_diagonal_phase(cut_table_, angles.gammas[layer]);
+    // Mixer e^{-i beta H_M} = Prod_q RX_q(2 beta).
+    const double two_beta = 2.0 * angles.betas[layer];
+    for (int q = 0; q < n; ++q) sv.apply_rx(q, two_beta);
+  }
+  return sv;
+}
+
+double QaoaSolver::expectation(const circuit::QaoaAngles& angles) const {
+  const sim::StateVector sv = state(angles);
+  return sim::expectation_diagonal(sv, cut_table_);
+}
+
+double QaoaSolver::sampled_expectation(const circuit::QaoaAngles& angles,
+                                       int shots, util::Rng& rng) const {
+  if (shots < 1) {
+    throw std::invalid_argument("sampled_expectation: shots must be >= 1");
+  }
+  const sim::StateVector sv = state(angles);
+  const auto samples = sim::sample_counts(sv, shots, rng);
+  double sum = 0.0;
+  for (const sim::BasisState s : samples) sum += cut_table_[s];
+  return sum / static_cast<double>(shots);
+}
+
+std::vector<double> QaoaSolver::initial_parameters(
+    const QaoaOptions& options) const {
+  const int p = options.layers;
+  if (!options.initial_parameters.empty()) {
+    if (options.initial_parameters.size() !=
+        static_cast<std::size_t>(2 * p)) {
+      throw std::invalid_argument(
+          "QaoaOptions::initial_parameters must have size 2 * layers");
+    }
+    return options.initial_parameters;
+  }
+  circuit::QaoaAngles angles;
+  angles.gammas.resize(static_cast<std::size_t>(p));
+  angles.betas.resize(static_cast<std::size_t>(p));
+  if (options.init == InitKind::kLinearRamp) {
+    // Adiabatic-style ramp: the cost angle grows with the layer index while
+    // the mixer angle decays — the standard structure-aware start.
+    for (int l = 0; l < p; ++l) {
+      const double t = (static_cast<double>(l) + 0.5) / static_cast<double>(p);
+      angles.gammas[static_cast<std::size_t>(l)] = 0.7 * t;
+      angles.betas[static_cast<std::size_t>(l)] = 0.7 * (1.0 - t);
+    }
+  } else {
+    util::Rng rng(options.seed ^ 0xa5a5a5a5ULL);
+    for (int l = 0; l < p; ++l) {
+      angles.gammas[static_cast<std::size_t>(l)] = util::uniform(rng, 0.0, 0.6);
+      angles.betas[static_cast<std::size_t>(l)] = util::uniform(rng, 0.0, 0.6);
+    }
+  }
+  return circuit::pack_angles(angles);
+}
+
+QaoaResult QaoaSolver::optimize(const QaoaOptions& options) const {
+  if (options.layers < 1) {
+    throw std::invalid_argument("QaoaSolver::optimize: layers must be >= 1");
+  }
+  if (options.top_k < 1) {
+    throw std::invalid_argument("QaoaSolver::optimize: top_k must be >= 1");
+  }
+  const int budget = options.max_iterations > 0
+                         ? options.max_iterations
+                         : paper_iteration_schedule(options.layers);
+
+  util::Rng shot_rng(options.seed ^ 0x7357b1e55ed5eedULL);
+  // Objective to MINIMIZE: -F_p (exact or shot-estimated).
+  const auto objective = [this, &options,
+                          &shot_rng](const std::vector<double>& params) {
+    const circuit::QaoaAngles angles = circuit::unpack_angles(params);
+    return options.shot_based_objective
+               ? -sampled_expectation(angles, options.shots, shot_rng)
+               : -expectation(angles);
+  };
+
+  const std::vector<double> x0 = initial_parameters(options);
+  optim::Result opt;
+  if (options.optimizer == OptimizerKind::kCobyla) {
+    optim::CobylaOptions copts;
+    copts.rhobeg = options.rhobeg;
+    copts.rhoend = 1e-4;
+    copts.maxfun = budget;
+    opt = optim::cobyla_minimize(objective, x0, copts);
+  } else {
+    optim::NelderMeadOptions nopts;
+    nopts.step = options.rhobeg;
+    nopts.maxfun = budget;
+    opt = optim::nelder_mead_minimize(objective, x0, nopts);
+  }
+
+  QaoaResult result;
+  result.parameters = opt.x;
+  result.evaluations = opt.evaluations;
+  result.layers = options.layers;
+
+  const circuit::QaoaAngles best_angles = circuit::unpack_angles(opt.x);
+  const sim::StateVector sv = state(best_angles);
+  result.expectation = sim::expectation_diagonal(sv, cut_table_);
+
+  // Solution extraction. top_k == 1 is the paper's highest-amplitude rule;
+  // larger k scans the k most probable strings for the best cut (§5).
+  const auto top = sim::top_k_states(sv, options.top_k);
+  sim::BasisState chosen = top.front().first;
+  double chosen_value = cut_table_[chosen];
+  for (const auto& [state_idx, prob] : top) {
+    (void)prob;
+    if (cut_table_[state_idx] > chosen_value) {
+      chosen = state_idx;
+      chosen_value = cut_table_[state_idx];
+    }
+  }
+  result.cut.assignment =
+      maxcut::assignment_from_bits(chosen, graph_->num_nodes());
+  result.cut.value = chosen_value;
+
+  if (options.shots > 0) {
+    const auto samples = sim::sample_counts(sv, options.shots, shot_rng);
+    double best_sampled = 0.0;
+    for (const sim::BasisState s : samples) {
+      best_sampled = std::max(best_sampled, cut_table_[s]);
+    }
+    result.best_sampled_value = best_sampled;
+  }
+  return result;
+}
+
+QaoaResult solve_qaoa(const graph::Graph& g, const QaoaOptions& options) {
+  return QaoaSolver(g).optimize(options);
+}
+
+}  // namespace qq::qaoa

@@ -1,0 +1,108 @@
+#pragma once
+// QAOA driver for MaxCut (paper §3.2).
+//
+// The hybrid loop: prepare |psi_p(beta, gamma)> on the simulator, evaluate
+// F_p = <psi|H_C|psi>, and let a classical optimizer (COBYLA, with the
+// paper's rhobeg knob) update the angles. Solution extraction follows the
+// paper: "the bit string corresponding to the highest amplitude ... is
+// chosen" (top_k = 1), with the §5 refinement — scanning the k most
+// probable bit strings for the best cut — available via top_k > 1.
+
+#include <cstdint>
+#include <vector>
+
+#include "maxcut/cut.hpp"
+#include "qcircuit/ansatz.hpp"
+#include "qgraph/graph.hpp"
+#include "qsim/statevector.hpp"
+
+namespace qq::qaoa {
+
+enum class OptimizerKind { kCobyla, kNelderMead };
+enum class InitKind {
+  kLinearRamp,  ///< adiabatic-inspired ramp (gamma up, beta down)
+  kRandom,      ///< small random angles
+};
+
+struct QaoaOptions {
+  int layers = 3;  ///< p in Eq. 2
+  /// COBYLA initial step ("initial change to the variables", the paper's
+  /// grid dimension alongside p).
+  double rhobeg = 0.5;
+  /// Objective-evaluation budget. 0 selects the paper's schedule, linear in
+  /// p and clamped to [30, 100]: 30 + 14 * (p - 3).
+  int max_iterations = 0;
+  /// Shots per circuit execution (paper: 4096). Used when
+  /// shot_based_objective is set and for the sampling diagnostics.
+  int shots = 4096;
+  /// Estimate F_p from `shots` samples instead of the exact expectation —
+  /// the noisy objective a real device (or shot-limited Aer run) gives the
+  /// optimizer.
+  bool shot_based_objective = false;
+  /// Number of highest-probability bit strings scanned for the final
+  /// answer; 1 reproduces the paper's default behaviour.
+  int top_k = 1;
+  OptimizerKind optimizer = OptimizerKind::kCobyla;
+  InitKind init = InitKind::kLinearRamp;
+  /// Explicit initial [gamma_1..gamma_p, beta_1..beta_p]; overrides `init`
+  /// when its size equals 2 * layers (used by INTERP and the kNN warm
+  /// start).
+  std::vector<double> initial_parameters;
+  std::uint64_t seed = 0;
+};
+
+struct QaoaResult {
+  /// Chosen bit string and its cut value.
+  maxcut::CutResult cut;
+  /// F_p at the optimized angles (exact expectation).
+  double expectation = 0.0;
+  /// Optimized [gamma_1..gamma_p, beta_1..beta_p].
+  std::vector<double> parameters;
+  int evaluations = 0;
+  int layers = 0;
+  /// Best cut among `shots` sampled bit strings at the optimum — the
+  /// hardware-realistic diagnostic.
+  double best_sampled_value = 0.0;
+};
+
+/// Paper iteration schedule (§4: "linearly dependent on p and ranges from
+/// 30 to 100 steps" over p in {3..8}).
+int paper_iteration_schedule(int layers);
+
+/// Precomputes the cut table for one graph so that repeated optimizations
+/// (grid searches, restarts) share it.
+class QaoaSolver {
+ public:
+  explicit QaoaSolver(const graph::Graph& g);
+
+  const graph::Graph& graph() const noexcept { return *graph_; }
+  const std::vector<double>& cut_table() const noexcept { return cut_table_; }
+  /// Exact optimum (max over the cut table) — free by-product used by tests
+  /// and approximation-ratio reporting.
+  double exact_optimum() const noexcept { return exact_optimum_; }
+
+  /// Prepare |psi_p(beta, gamma)> via the diagonal fast path.
+  sim::StateVector state(const circuit::QaoaAngles& angles) const;
+
+  /// Exact <H_C> at the given angles.
+  double expectation(const circuit::QaoaAngles& angles) const;
+
+  /// Shot-based estimate of <H_C>.
+  double sampled_expectation(const circuit::QaoaAngles& angles, int shots,
+                             util::Rng& rng) const;
+
+  /// Full hybrid optimization loop.
+  QaoaResult optimize(const QaoaOptions& options) const;
+
+ private:
+  std::vector<double> initial_parameters(const QaoaOptions& options) const;
+
+  const graph::Graph* graph_;
+  std::vector<double> cut_table_;
+  double exact_optimum_ = 0.0;
+};
+
+/// One-shot convenience wrapper.
+QaoaResult solve_qaoa(const graph::Graph& g, const QaoaOptions& options = {});
+
+}  // namespace qq::qaoa

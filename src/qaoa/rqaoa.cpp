@@ -1,0 +1,124 @@
+#include "qaoa/rqaoa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "maxcut/exact.hpp"
+#include "qsim/measure.hpp"
+
+namespace qq::qaoa {
+
+namespace {
+
+struct Constraint {
+  graph::NodeId eliminated;  ///< original node id forced by the constraint
+  graph::NodeId kept;        ///< original node id it follows
+  int sign;                  ///< +1: same side, -1: opposite sides
+};
+
+}  // namespace
+
+RqaoaResult solve_rqaoa(const graph::Graph& g, const RqaoaOptions& options) {
+  if (options.cutoff < 2) {
+    throw std::invalid_argument("solve_rqaoa: cutoff must be >= 2");
+  }
+  RqaoaResult result;
+
+  graph::Graph cur = g;
+  std::vector<graph::NodeId> to_orig(static_cast<std::size_t>(g.num_nodes()));
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    to_orig[static_cast<std::size_t>(u)] = u;
+  }
+  std::vector<Constraint> constraints;
+
+  while (cur.num_nodes() > options.cutoff && cur.num_edges() > 0) {
+    QaoaSolver solver(cur);
+    QaoaOptions qopts = options.qaoa;
+    qopts.seed = options.qaoa.seed + static_cast<std::uint64_t>(result.rounds);
+    const QaoaResult round = solver.optimize(qopts);
+    result.total_evaluations += round.evaluations;
+
+    const sim::StateVector sv =
+        solver.state(circuit::unpack_angles(round.parameters));
+
+    // Strongest edge correlation decides the elimination.
+    double best_abs = -1.0;
+    graph::Edge best_edge{0, 0, 0.0};
+    double best_m = 0.0;
+    for (const graph::Edge& e : cur.edges()) {
+      const double m = sim::expectation_zz(sv, e.u, e.v);
+      if (std::abs(m) > best_abs) {
+        best_abs = std::abs(m);
+        best_edge = e;
+        best_m = m;
+      }
+    }
+    const int sign = best_m >= 0.0 ? 1 : -1;
+    const graph::NodeId keep = best_edge.u;
+    const graph::NodeId drop = best_edge.v;
+    constraints.push_back(
+        Constraint{to_orig[static_cast<std::size_t>(drop)],
+                   to_orig[static_cast<std::size_t>(keep)], sign});
+
+    // Contract `drop` into `keep` with signed weight folding:
+    //   w_{jk}(1 - Z_j Z_k)/2 with Z_j = s Z_i  ->  s*w_{jk} edge (i, k)
+    //   plus a constant that the final re-evaluation on the original graph
+    //   absorbs.
+    const graph::NodeId n_next = cur.num_nodes() - 1;
+    std::vector<graph::NodeId> old_to_new(
+        static_cast<std::size_t>(cur.num_nodes()));
+    std::vector<graph::NodeId> next_to_orig(static_cast<std::size_t>(n_next));
+    graph::NodeId next_id = 0;
+    for (graph::NodeId u = 0; u < cur.num_nodes(); ++u) {
+      if (u == drop) continue;
+      old_to_new[static_cast<std::size_t>(u)] = next_id;
+      next_to_orig[static_cast<std::size_t>(next_id)] =
+          to_orig[static_cast<std::size_t>(u)];
+      ++next_id;
+    }
+    graph::Graph contracted(n_next);
+    for (const graph::Edge& e : cur.edges()) {
+      if (e.u == drop || e.v == drop) {
+        const graph::NodeId other = e.u == drop ? e.v : e.u;
+        if (other == keep) continue;  // constraint edge: constant term
+        const graph::NodeId a = old_to_new[static_cast<std::size_t>(keep)];
+        const graph::NodeId b = old_to_new[static_cast<std::size_t>(other)];
+        if (a != b) contracted.add_edge(a, b, sign * e.w);
+      } else {
+        contracted.add_edge(old_to_new[static_cast<std::size_t>(e.u)],
+                            old_to_new[static_cast<std::size_t>(e.v)], e.w);
+      }
+    }
+    cur = std::move(contracted);
+    to_orig = std::move(next_to_orig);
+    ++result.rounds;
+  }
+
+  // Exact finish on the residual instance.
+  maxcut::Assignment residual;
+  if (cur.num_edges() == 0) {
+    residual.assign(static_cast<std::size_t>(cur.num_nodes()), 0);
+  } else {
+    residual = maxcut::solve_exact(cur).assignment;
+  }
+
+  // Propagate: residual nodes first, then constraints in reverse order.
+  maxcut::Assignment assignment(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (graph::NodeId u = 0; u < cur.num_nodes(); ++u) {
+    assignment[static_cast<std::size_t>(
+        to_orig[static_cast<std::size_t>(u)])] =
+        residual[static_cast<std::size_t>(u)];
+  }
+  for (auto it = constraints.rbegin(); it != constraints.rend(); ++it) {
+    const std::uint8_t kept_side =
+        assignment[static_cast<std::size_t>(it->kept)];
+    assignment[static_cast<std::size_t>(it->eliminated)] =
+        it->sign > 0 ? kept_side : static_cast<std::uint8_t>(kept_side ^ 1U);
+  }
+
+  result.cut.assignment = std::move(assignment);
+  result.cut.value = maxcut::cut_value(g, result.cut.assignment);
+  return result;
+}
+
+}  // namespace qq::qaoa

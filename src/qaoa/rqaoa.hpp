@@ -1,0 +1,31 @@
+#pragma once
+// Recursive QAOA (RQAOA, Bravyi et al., PRL 125, 260505) — the non-local
+// QAOA variant the paper singles out (§3.2) as numerically outperforming
+// standard QAOA and combinable with QAOA^2. Provided as the library's
+// extension solver.
+//
+// Each round runs QAOA, measures the edge correlations M_uv = <Z_u Z_v> at
+// the optimum, imposes the strongest one as the constraint
+// Z_v = sign(M_uv) Z_u, and eliminates variable v by graph contraction
+// (signed weights). Once the graph is small enough it is solved exactly and
+// the constraints are unwound.
+
+#include "maxcut/cut.hpp"
+#include "qaoa/qaoa.hpp"
+
+namespace qq::qaoa {
+
+struct RqaoaOptions {
+  QaoaOptions qaoa;   ///< per-round QAOA configuration
+  int cutoff = 8;     ///< stop recursion at this node count; solve exactly
+};
+
+struct RqaoaResult {
+  maxcut::CutResult cut;  ///< assignment on the ORIGINAL nodes + its value
+  int rounds = 0;         ///< eliminations performed
+  int total_evaluations = 0;
+};
+
+RqaoaResult solve_rqaoa(const graph::Graph& g, const RqaoaOptions& options = {});
+
+}  // namespace qq::qaoa

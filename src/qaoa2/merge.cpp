@@ -1,0 +1,96 @@
+#include "qaoa2/merge.hpp"
+
+#include <stdexcept>
+
+namespace qq::qaoa2 {
+
+std::vector<int> part_index(
+    graph::NodeId num_nodes,
+    const std::vector<std::vector<graph::NodeId>>& parts) {
+  std::vector<int> part_of(static_cast<std::size_t>(num_nodes), -1);
+  for (std::size_t a = 0; a < parts.size(); ++a) {
+    for (const graph::NodeId u : parts[a]) {
+      if (u < 0 || u >= num_nodes) {
+        throw std::out_of_range("part_index: node id out of range");
+      }
+      if (part_of[static_cast<std::size_t>(u)] != -1) {
+        throw std::invalid_argument("part_index: parts overlap");
+      }
+      part_of[static_cast<std::size_t>(u)] = static_cast<int>(a);
+    }
+  }
+  for (const int a : part_of) {
+    if (a == -1) {
+      throw std::invalid_argument("part_index: parts do not cover all nodes");
+    }
+  }
+  return part_of;
+}
+
+namespace {
+
+/// side_of[u] for original node u according to its part's local solution.
+std::vector<std::uint8_t> lift_local_sides(
+    graph::NodeId num_nodes,
+    const std::vector<std::vector<graph::NodeId>>& parts,
+    const std::vector<maxcut::Assignment>& local_solutions) {
+  if (parts.size() != local_solutions.size()) {
+    throw std::invalid_argument("merge: parts/solutions size mismatch");
+  }
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(num_nodes), 0);
+  for (std::size_t a = 0; a < parts.size(); ++a) {
+    if (parts[a].size() != local_solutions[a].size()) {
+      throw std::invalid_argument("merge: local solution size mismatch");
+    }
+    for (std::size_t i = 0; i < parts[a].size(); ++i) {
+      side[static_cast<std::size_t>(parts[a][i])] = local_solutions[a][i];
+    }
+  }
+  return side;
+}
+
+}  // namespace
+
+graph::Graph build_merge_graph(
+    const graph::Graph& g, const std::vector<std::vector<graph::NodeId>>& parts,
+    const std::vector<maxcut::Assignment>& local_solutions) {
+  const auto part_of = part_index(g.num_nodes(), parts);
+  const auto side = lift_local_sides(g.num_nodes(), parts, local_solutions);
+
+  graph::Graph coarse(static_cast<graph::NodeId>(parts.size()));
+  for (const graph::Edge& e : g.edges()) {
+    const int a = part_of[static_cast<std::size_t>(e.u)];
+    const int b = part_of[static_cast<std::size_t>(e.v)];
+    if (a == b) continue;  // intra-part edges are settled by local solutions
+    const bool currently_cut = side[static_cast<std::size_t>(e.u)] !=
+                               side[static_cast<std::size_t>(e.v)];
+    // Graph::add_edge accumulates parallel contributions into the single
+    // coarse weight ("take the sum on all edges between each two
+    // sub-graphs").
+    coarse.add_edge(static_cast<graph::NodeId>(a),
+                    static_cast<graph::NodeId>(b),
+                    currently_cut ? -e.w : e.w);
+  }
+  return coarse;
+}
+
+maxcut::Assignment apply_flips(
+    graph::NodeId num_nodes,
+    const std::vector<std::vector<graph::NodeId>>& parts,
+    const std::vector<maxcut::Assignment>& local_solutions,
+    const maxcut::Assignment& coarse_assignment) {
+  if (coarse_assignment.size() != parts.size()) {
+    throw std::invalid_argument("apply_flips: coarse assignment size mismatch");
+  }
+  maxcut::Assignment out(static_cast<std::size_t>(num_nodes), 0);
+  for (std::size_t a = 0; a < parts.size(); ++a) {
+    const std::uint8_t flip = coarse_assignment[a];
+    for (std::size_t i = 0; i < parts[a].size(); ++i) {
+      out[static_cast<std::size_t>(parts[a][i])] =
+          static_cast<std::uint8_t>(local_solutions[a][i] ^ flip);
+    }
+  }
+  return out;
+}
+
+}  // namespace qq::qaoa2

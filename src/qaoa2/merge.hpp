@@ -1,0 +1,37 @@
+#pragma once
+// QAOA^2 merge step (paper §3.3 step 4): given sub-graph solutions, build
+// the coarse graph whose MaxCut decides which sub-graphs to flip.
+//
+// For every edge (u, v) of the original graph crossing from part a to part
+// b, its weight enters the coarse edge (a, b) with sign:
+//   * negative if the local solutions currently cut (u, v)   [w -> -w]
+//   * positive otherwise                                     [w -> +w]
+// so that cutting (a, b) in the coarse graph (i.e. flipping exactly one of
+// the two parts) gains exactly the uncut-minus-cut crossing weight.
+
+#include <vector>
+
+#include "maxcut/cut.hpp"
+#include "qgraph/graph.hpp"
+
+namespace qq::qaoa2 {
+
+/// parts[a] lists the original node ids of part a; local_solutions[a] is an
+/// assignment over parts[a] (indexed by position, i.e. local ids).
+graph::Graph build_merge_graph(
+    const graph::Graph& g, const std::vector<std::vector<graph::NodeId>>& parts,
+    const std::vector<maxcut::Assignment>& local_solutions);
+
+/// Lift the local solutions to a global assignment, flipping every part
+/// whose coarse node ended on side 1.
+maxcut::Assignment apply_flips(
+    graph::NodeId num_nodes,
+    const std::vector<std::vector<graph::NodeId>>& parts,
+    const std::vector<maxcut::Assignment>& local_solutions,
+    const maxcut::Assignment& coarse_assignment);
+
+/// part_of[u] = index of the part containing original node u.
+std::vector<int> part_index(graph::NodeId num_nodes,
+                            const std::vector<std::vector<graph::NodeId>>& parts);
+
+}  // namespace qq::qaoa2

@@ -1,0 +1,238 @@
+#include "qaoa2/qaoa2.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "maxcut/anneal.hpp"
+#include "maxcut/baselines.hpp"
+#include "maxcut/exact.hpp"
+#include "qaoa/rqaoa.hpp"
+#include "qaoa2/merge.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace qq::qaoa2 {
+
+namespace {
+
+bool is_quantum(SubSolver solver) {
+  return solver == SubSolver::kQaoa || solver == SubSolver::kRqaoa;
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, int level, std::size_t part) {
+  util::SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(level) << 32) ^
+                      static_cast<std::uint64_t>(part));
+  return sm.next();
+}
+
+}  // namespace
+
+const char* sub_solver_name(SubSolver solver) noexcept {
+  switch (solver) {
+    case SubSolver::kQaoa: return "qaoa";
+    case SubSolver::kGw: return "gw";
+    case SubSolver::kBest: return "best";
+    case SubSolver::kExact: return "exact";
+    case SubSolver::kAnneal: return "anneal";
+    case SubSolver::kLocalSearch: return "local-search";
+    case SubSolver::kRqaoa: return "rqaoa";
+  }
+  return "?";
+}
+
+Qaoa2Driver::Qaoa2Driver(const Qaoa2Options& options) : options_(options) {
+  if (options.max_qubits < 2) {
+    throw std::invalid_argument("Qaoa2Driver: max_qubits must be >= 2");
+  }
+  if (options.merge_solver == SubSolver::kBest) {
+    throw std::invalid_argument(
+        "Qaoa2Driver: merge_solver cannot be kBest (one coarse solve)");
+  }
+}
+
+maxcut::CutResult Qaoa2Driver::solve_subgraph(const graph::Graph& g,
+                                              SubSolver solver,
+                                              std::uint64_t seed) const {
+  maxcut::CutResult trivial;
+  trivial.assignment.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+  trivial.value = 0.0;
+  if (g.num_nodes() < 2 || g.num_edges() == 0) return trivial;
+
+  switch (solver) {
+    case SubSolver::kQaoa: {
+      qaoa::QaoaOptions qopts = options_.qaoa;
+      qopts.seed = seed;
+      return qaoa::solve_qaoa(g, qopts).cut;
+    }
+    case SubSolver::kGw: {
+      sdp::GwOptions gopts = options_.gw;
+      gopts.seed = seed;
+      gopts.sdp.seed = seed ^ 0x5d9ULL;
+      return sdp::goemans_williamson(g, gopts).best;
+    }
+    case SubSolver::kBest: {
+      maxcut::CutResult q = solve_subgraph(g, SubSolver::kQaoa, seed);
+      maxcut::CutResult c = solve_subgraph(g, SubSolver::kGw, seed);
+      return q.value >= c.value ? q : c;
+    }
+    case SubSolver::kExact:
+      return maxcut::solve_exact(g);
+    case SubSolver::kAnneal: {
+      util::Rng rng(seed ^ 0xa22ea1ULL);
+      return maxcut::simulated_annealing(g, rng);
+    }
+    case SubSolver::kLocalSearch: {
+      util::Rng rng(seed ^ 0x10ca15ULL);
+      return maxcut::one_exchange_restarts(g, rng, 10);
+    }
+    case SubSolver::kRqaoa: {
+      qaoa::RqaoaOptions ropts;
+      ropts.qaoa = options_.qaoa;
+      ropts.qaoa.seed = seed;
+      ropts.cutoff = std::min(options_.max_qubits, 8);
+      return qaoa::solve_rqaoa(g, ropts).cut;
+    }
+  }
+  return trivial;
+}
+
+void Qaoa2Driver::solve_level(const graph::Graph& g, int level,
+                              Qaoa2Result& result,
+                              maxcut::Assignment& out_assignment) const {
+  result.levels = std::max(result.levels, level + 1);
+  const SubSolver level_solver =
+      level == 0 ? options_.sub_solver : options_.deeper_solver;
+
+  // Base case: the whole (coarse) graph fits on a device.
+  if (g.num_nodes() <= options_.max_qubits) {
+    const SubSolver solver = level == 0 ? level_solver : options_.merge_solver;
+    util::Timer timer;
+    const auto res = solve_subgraph(g, solver, mix_seed(options_.seed, level, 0));
+    result.solve_seconds += timer.seconds();
+    is_quantum(solver) ? ++result.quantum_solves : ++result.classical_solves;
+    ++result.subgraphs_total;
+    out_assignment = res.assignment;
+    return;
+  }
+
+  // Divide (paper step 2).
+  graph::PartitionOptions popts;
+  popts.max_nodes = options_.max_qubits;
+  popts.method = options_.partition_method;
+  popts.seed = options_.seed + static_cast<std::uint64_t>(level) * 1000003ULL;
+  const auto parts = graph::partition_max_size(g, popts);
+  if (static_cast<graph::NodeId>(parts.size()) >= g.num_nodes()) {
+    // Cannot happen with the partitioner's no-progress fallback; guard the
+    // recursion against any future partitioner that degenerates.
+    throw std::runtime_error("Qaoa2Driver: partition made no progress");
+  }
+
+  LevelStats stats;
+  stats.level = level;
+  stats.num_parts = static_cast<int>(parts.size());
+  stats.largest_part = 0;
+  stats.smallest_part = g.num_nodes();
+  for (const auto& part : parts) {
+    stats.largest_part = std::max(stats.largest_part,
+                                  static_cast<int>(part.size()));
+    stats.smallest_part = std::min(stats.smallest_part,
+                                   static_cast<int>(part.size()));
+  }
+
+  // Conquer (paper step 3): every sub-graph in parallel through the
+  // coordinator/worker engine. kBest submits a quantum and a classical task
+  // per part and keeps the better cut (paper §3.6/Fig. 4 "Best").
+  std::vector<graph::Graph> subgraphs;
+  subgraphs.reserve(parts.size());
+  for (const auto& part : parts) subgraphs.push_back(g.induced(part).graph);
+
+  const bool best_mode = level_solver == SubSolver::kBest;
+  std::vector<maxcut::CutResult> primary(parts.size());
+  std::vector<maxcut::CutResult> secondary(best_mode ? parts.size() : 0);
+
+  sched::WorkflowEngine engine(options_.engine);
+  std::vector<sched::Task> tasks;
+  tasks.reserve(parts.size() * (best_mode ? 2 : 1));
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const std::uint64_t seed = mix_seed(options_.seed, level, i);
+    if (best_mode) {
+      tasks.push_back({sched::ResourceKind::kQuantum, [this, &subgraphs,
+                                                       &primary, i, seed] {
+                         primary[i] =
+                             solve_subgraph(subgraphs[i], SubSolver::kQaoa, seed);
+                       }});
+      tasks.push_back({sched::ResourceKind::kClassical,
+                       [this, &subgraphs, &secondary, i, seed] {
+                         secondary[i] =
+                             solve_subgraph(subgraphs[i], SubSolver::kGw, seed);
+                       }});
+    } else {
+      const auto kind = is_quantum(level_solver)
+                            ? sched::ResourceKind::kQuantum
+                            : sched::ResourceKind::kClassical;
+      tasks.push_back({kind, [this, &subgraphs, &primary, i, seed,
+                              level_solver] {
+                         primary[i] =
+                             solve_subgraph(subgraphs[i], level_solver, seed);
+                       }});
+    }
+  }
+  const sched::BatchReport report = engine.run_batch(std::move(tasks));
+  result.solve_seconds += report.busy_seconds;
+  result.coordination_seconds += report.coordination_seconds;
+
+  std::vector<maxcut::Assignment> locals(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (best_mode) {
+      locals[i] = primary[i].value >= secondary[i].value
+                      ? primary[i].assignment
+                      : secondary[i].assignment;
+      ++result.quantum_solves;
+      ++result.classical_solves;
+      result.subgraphs_total += 1;
+    } else {
+      locals[i] = primary[i].assignment;
+      is_quantum(level_solver) ? ++result.quantum_solves
+                               : ++result.classical_solves;
+      ++result.subgraphs_total;
+    }
+  }
+
+  // Merge (paper step 4) and recurse on the coarse graph (step 5).
+  const graph::Graph coarse = build_merge_graph(g, parts, locals);
+  maxcut::Assignment coarse_assignment;
+  if (coarse.num_nodes() <= options_.max_qubits) {
+    util::Timer timer;
+    const auto res = solve_subgraph(coarse, options_.merge_solver,
+                                    mix_seed(options_.seed, level + 1, 0));
+    result.solve_seconds += timer.seconds();
+    is_quantum(options_.merge_solver) ? ++result.quantum_solves
+                                      : ++result.classical_solves;
+    ++result.subgraphs_total;
+    result.levels = std::max(result.levels, level + 2);
+    coarse_assignment = res.assignment;
+  } else {
+    solve_level(coarse, level + 1, result, coarse_assignment);
+  }
+
+  out_assignment =
+      apply_flips(g.num_nodes(), parts, locals, coarse_assignment);
+  stats.level_cut = maxcut::cut_value(g, out_assignment);
+  result.level_stats.push_back(stats);
+}
+
+Qaoa2Result Qaoa2Driver::solve(const graph::Graph& g) const {
+  Qaoa2Result result;
+  maxcut::Assignment assignment;
+  solve_level(g, 0, result, assignment);
+  result.cut.assignment = std::move(assignment);
+  result.cut.value = maxcut::cut_value(g, result.cut.assignment);
+  std::reverse(result.level_stats.begin(), result.level_stats.end());
+  return result;
+}
+
+Qaoa2Result solve_qaoa2(const graph::Graph& g, const Qaoa2Options& options) {
+  return Qaoa2Driver(options).solve(g);
+}
+
+}  // namespace qq::qaoa2

@@ -1,0 +1,98 @@
+#pragma once
+// QAOA-in-QAOA (QAOA^2) driver — the paper's primary contribution (§3.3):
+// divide the graph into qubit-sized sub-graphs (greedy modularity), solve
+// the sub-graphs in parallel on (simulated) quantum devices and/or
+// classical solvers, merge via the signed coarse graph, and recurse until
+// the coarse problem fits on one device.
+//
+// The hybrid selection the paper studies (§3.6/Fig. 4) is the SubSolver
+// knob: all-QAOA ("QAOA"), all-GW ("Classic"), or per-sub-graph best of
+// both ("Best").
+
+#include <cstdint>
+#include <vector>
+
+#include "maxcut/cut.hpp"
+#include "qaoa/qaoa.hpp"
+#include "qgraph/graph.hpp"
+#include "qgraph/partition.hpp"
+#include "sched/engine.hpp"
+#include "sdp/gw.hpp"
+
+namespace qq::qaoa2 {
+
+enum class SubSolver {
+  kQaoa,         ///< quantum (simulated) — Fig. 4 "QAOA"
+  kGw,           ///< classical Goemans-Williamson — Fig. 4 "Classic"
+  kBest,         ///< run both, keep the better cut — Fig. 4 "Best"
+  kExact,        ///< brute force (tests / small parts)
+  kAnneal,       ///< simulated annealing
+  kLocalSearch,  ///< one-exchange with restarts
+  kRqaoa,        ///< recursive QAOA (extension)
+};
+
+struct Qaoa2Options {
+  /// Qubit budget n of the (simulated) devices; also the partition cap.
+  int max_qubits = 12;
+  /// Divide-step community detector (paper uses greedy modularity; the §5
+  /// outlook motivates trying others — see bench_ablation_partition).
+  graph::PartitionMethod partition_method =
+      graph::PartitionMethod::kGreedyModularity;
+  /// Solver for the first-level sub-graphs.
+  SubSolver sub_solver = SubSolver::kQaoa;
+  /// Solver for deeper recursion levels. The paper: "In case of further
+  /// iterations in the QAOA^2 method, the classical solution is chosen."
+  SubSolver deeper_solver = SubSolver::kGw;
+  /// Solver for the coarse merge graphs (paper step 5 uses QAOA).
+  SubSolver merge_solver = SubSolver::kQaoa;
+  qaoa::QaoaOptions qaoa;  ///< configuration of every QAOA sub-solve
+  sdp::GwOptions gw;       ///< configuration of every GW sub-solve
+  /// Simulated device count / classical worker slots for the parallel
+  /// sub-graph fan-out (Fig. 2).
+  sched::EngineOptions engine;
+  std::uint64_t seed = 0;
+};
+
+struct LevelStats {
+  int level = 0;
+  int num_parts = 0;
+  int largest_part = 0;
+  int smallest_part = 0;
+  double level_cut = 0.0;  ///< global cut value after this level's merge
+};
+
+struct Qaoa2Result {
+  maxcut::CutResult cut;
+  int levels = 0;
+  int subgraphs_total = 0;
+  int quantum_solves = 0;
+  int classical_solves = 0;
+  double solve_seconds = 0.0;         ///< wall time in sub-graph solvers
+  double coordination_seconds = 0.0;  ///< engine overhead (Fig. 2 claim)
+  std::vector<LevelStats> level_stats;
+};
+
+class Qaoa2Driver {
+ public:
+  explicit Qaoa2Driver(const Qaoa2Options& options);
+
+  Qaoa2Result solve(const graph::Graph& g) const;
+
+  /// Solve one sub-graph with a specific solver (exposed for the knowledge
+  /// base / selection benchmarks).
+  maxcut::CutResult solve_subgraph(const graph::Graph& g, SubSolver solver,
+                                   std::uint64_t seed) const;
+
+ private:
+  void solve_level(const graph::Graph& g, int level, Qaoa2Result& result,
+                   maxcut::Assignment& out_assignment) const;
+
+  Qaoa2Options options_;
+};
+
+/// Convenience wrapper.
+Qaoa2Result solve_qaoa2(const graph::Graph& g, const Qaoa2Options& options = {});
+
+const char* sub_solver_name(SubSolver solver) noexcept;
+
+}  // namespace qq::qaoa2

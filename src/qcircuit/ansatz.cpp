@@ -1,0 +1,50 @@
+#include "qcircuit/ansatz.hpp"
+
+#include <stdexcept>
+
+namespace qq::circuit {
+
+Circuit qaoa_ansatz(const graph::Graph& g, const QaoaAngles& angles) {
+  if (angles.gammas.size() != angles.betas.size()) {
+    throw std::invalid_argument("qaoa_ansatz: gamma/beta layer mismatch");
+  }
+  Circuit qc(g.num_nodes());
+  for (int q = 0; q < g.num_nodes(); ++q) qc.h(q);
+  for (std::size_t layer = 0; layer < angles.layers(); ++layer) {
+    const double gamma = angles.gammas[layer];
+    const double beta = angles.betas[layer];
+    // e^{-i gamma H_C} = Prod_edges e^{+i gamma w_ij Z_i Z_j / 2} up to a
+    // global phase; RZZ(theta) = e^{-i theta Z Z / 2}, so theta = -gamma w.
+    for (const graph::Edge& e : g.edges()) {
+      qc.rzz(e.u, e.v, -gamma * e.w);
+    }
+    for (int q = 0; q < g.num_nodes(); ++q) qc.rx(q, 2.0 * beta);
+  }
+  return qc;
+}
+
+QaoaAngles unpack_angles(const std::vector<double>& params) {
+  if (params.size() % 2 != 0) {
+    throw std::invalid_argument("unpack_angles: parameter count must be even");
+  }
+  const std::size_t p = params.size() / 2;
+  QaoaAngles angles;
+  angles.gammas.assign(params.begin(),
+                       params.begin() + static_cast<std::ptrdiff_t>(p));
+  angles.betas.assign(params.begin() + static_cast<std::ptrdiff_t>(p),
+                      params.end());
+  return angles;
+}
+
+std::vector<double> pack_angles(const QaoaAngles& angles) {
+  if (angles.gammas.size() != angles.betas.size()) {
+    throw std::invalid_argument("pack_angles: gamma/beta layer mismatch");
+  }
+  std::vector<double> out;
+  out.reserve(angles.gammas.size() * 2);
+  out.insert(out.end(), angles.gammas.begin(), angles.gammas.end());
+  out.insert(out.end(), angles.betas.begin(), angles.betas.end());
+  return out;
+}
+
+}  // namespace qq::circuit

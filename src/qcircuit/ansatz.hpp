@@ -1,0 +1,35 @@
+#pragma once
+// High-level model -> circuit lowering for the QAOA MaxCut ansatz (Eq. 2):
+//
+//   |psi_p(beta, gamma)> = Prod_{l=1..p} e^{-i beta_l H_M} e^{-i gamma_l H_C} |+>^n
+//
+// with H_C = 1/2 Σ w_ij (1 - Z_i Z_j) and H_M = Σ_i X_i. The cost layer is
+// emitted as one RZZ per edge (e^{+i gamma w Z_i Z_j / 2} up to global
+// phase), the mixer as RX(2 beta) per qubit.
+
+#include <vector>
+
+#include "qcircuit/circuit.hpp"
+#include "qgraph/graph.hpp"
+
+namespace qq::circuit {
+
+struct QaoaAngles {
+  std::vector<double> gammas;  ///< cost-layer angles, one per layer
+  std::vector<double> betas;   ///< mixer-layer angles, one per layer
+
+  std::size_t layers() const { return gammas.size(); }
+};
+
+/// Naive lowering: Hadamard wall, then per layer the edges in graph order
+/// followed by the mixer. This is the "manual construction" the paper says
+/// Classiq improves upon; feed it to `synthesize` (passes.hpp) for the
+/// optimized version.
+Circuit qaoa_ansatz(const graph::Graph& g, const QaoaAngles& angles);
+
+/// Pack/unpack between the optimizer's flat parameter vector
+/// [gamma_1..gamma_p, beta_1..beta_p] and QaoaAngles.
+QaoaAngles unpack_angles(const std::vector<double>& params);
+std::vector<double> pack_angles(const QaoaAngles& angles);
+
+}  // namespace qq::circuit

@@ -1,0 +1,183 @@
+#include "qcircuit/circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace qq::circuit {
+
+bool is_two_qubit(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kCx:
+    case GateKind::kCz:
+    case GateKind::kSwap:
+    case GateKind::kRzz:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_rotation(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kRx:
+    case GateKind::kRy:
+    case GateKind::kRz:
+    case GateKind::kPhase:
+    case GateKind::kRzz:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* gate_name(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kH: return "h";
+    case GateKind::kX: return "x";
+    case GateKind::kY: return "y";
+    case GateKind::kZ: return "z";
+    case GateKind::kRx: return "rx";
+    case GateKind::kRy: return "ry";
+    case GateKind::kRz: return "rz";
+    case GateKind::kPhase: return "p";
+    case GateKind::kCx: return "cx";
+    case GateKind::kCz: return "cz";
+    case GateKind::kSwap: return "swap";
+    case GateKind::kRzz: return "rzz";
+    case GateKind::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+bool Gate::operator==(const Gate& other) const noexcept {
+  return kind == other.kind && q0 == other.q0 && q1 == other.q1 &&
+         param == other.param;
+}
+
+Circuit::Circuit(int num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits < 0) {
+    throw std::invalid_argument("Circuit: negative qubit count");
+  }
+}
+
+void Circuit::check_qubit(int q) const {
+  if (q < 0 || q >= num_qubits_) {
+    throw std::out_of_range("Circuit: qubit index out of range");
+  }
+}
+
+Circuit& Circuit::h(int q) { append({GateKind::kH, q}); return *this; }
+Circuit& Circuit::x(int q) { append({GateKind::kX, q}); return *this; }
+Circuit& Circuit::y(int q) { append({GateKind::kY, q}); return *this; }
+Circuit& Circuit::z(int q) { append({GateKind::kZ, q}); return *this; }
+Circuit& Circuit::rx(int q, double theta) {
+  append({GateKind::kRx, q, -1, theta});
+  return *this;
+}
+Circuit& Circuit::ry(int q, double theta) {
+  append({GateKind::kRy, q, -1, theta});
+  return *this;
+}
+Circuit& Circuit::rz(int q, double theta) {
+  append({GateKind::kRz, q, -1, theta});
+  return *this;
+}
+Circuit& Circuit::phase(int q, double phi) {
+  append({GateKind::kPhase, q, -1, phi});
+  return *this;
+}
+Circuit& Circuit::cx(int control, int target) {
+  append({GateKind::kCx, control, target});
+  return *this;
+}
+Circuit& Circuit::cz(int a, int b) {
+  append({GateKind::kCz, a, b});
+  return *this;
+}
+Circuit& Circuit::swap(int a, int b) {
+  append({GateKind::kSwap, a, b});
+  return *this;
+}
+Circuit& Circuit::rzz(int a, int b, double theta) {
+  append({GateKind::kRzz, a, b, theta});
+  return *this;
+}
+Circuit& Circuit::barrier() {
+  gates_.push_back({GateKind::kBarrier, -1, -1, 0.0});
+  return *this;
+}
+
+void Circuit::append(const Gate& gate) {
+  if (gate.kind == GateKind::kBarrier) {
+    gates_.push_back(gate);
+    return;
+  }
+  check_qubit(gate.q0);
+  if (is_two_qubit(gate.kind)) {
+    check_qubit(gate.q1);
+    if (gate.q0 == gate.q1) {
+      throw std::invalid_argument("Circuit: two-qubit gate on one qubit");
+    }
+  }
+  gates_.push_back(gate);
+}
+
+void Circuit::append(const Circuit& other) {
+  if (other.num_qubits_ > num_qubits_) {
+    throw std::invalid_argument("Circuit::append: qubit count mismatch");
+  }
+  for (const Gate& g : other.gates_) append(g);
+}
+
+CircuitStats Circuit::stats() const {
+  CircuitStats s;
+  std::vector<int> busy(static_cast<std::size_t>(num_qubits_), 0);
+  std::vector<int> busy_2q(static_cast<std::size_t>(num_qubits_), 0);
+  int barrier_floor = 0;
+  int barrier_floor_2q = 0;
+  for (const Gate& g : gates_) {
+    if (g.kind == GateKind::kBarrier) {
+      for (int level : busy) barrier_floor = std::max(barrier_floor, level);
+      for (int level : busy_2q) {
+        barrier_floor_2q = std::max(barrier_floor_2q, level);
+      }
+      for (auto& level : busy) level = barrier_floor;
+      for (auto& level : busy_2q) level = barrier_floor_2q;
+      continue;
+    }
+    ++s.total_gates;
+    if (is_rotation(g.kind)) ++s.rotations;
+    const auto q0 = static_cast<std::size_t>(g.q0);
+    if (is_two_qubit(g.kind)) {
+      ++s.two_qubit_gates;
+      const auto q1 = static_cast<std::size_t>(g.q1);
+      const int layer = std::max(busy[q0], busy[q1]) + 1;
+      busy[q0] = busy[q1] = layer;
+      const int layer2 = std::max(busy_2q[q0], busy_2q[q1]) + 1;
+      busy_2q[q0] = busy_2q[q1] = layer2;
+    } else {
+      busy[q0] += 1;
+    }
+  }
+  for (int level : busy) s.depth = std::max(s.depth, level);
+  for (int level : busy_2q) s.depth_2q = std::max(s.depth_2q, level);
+  return s;
+}
+
+std::string Circuit::str() const {
+  std::ostringstream os;
+  for (const Gate& g : gates_) {
+    os << gate_name(g.kind);
+    if (g.kind != GateKind::kBarrier) {
+      os << " q" << g.q0;
+      if (g.q1 >= 0) os << ", q" << g.q1;
+      if (is_rotation(g.kind)) os << " (" << g.param << ')';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qq::circuit

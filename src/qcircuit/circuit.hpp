@@ -1,0 +1,88 @@
+#pragma once
+// Gate-level circuit intermediate representation.
+//
+// This IR plus the pass pipeline in passes.hpp stands in for the Classiq
+// synthesis engine the paper uses (§3.5): a high-level combinatorial model
+// (the QAOA ansatz over a graph) is lowered to gates and then optimized for
+// depth and two-qubit-gate count.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qq::circuit {
+
+enum class GateKind : std::uint8_t {
+  kH,
+  kX,
+  kY,
+  kZ,
+  kRx,
+  kRy,
+  kRz,
+  kPhase,
+  kCx,
+  kCz,
+  kSwap,
+  kRzz,
+  kBarrier,  ///< scheduling fence across all qubits
+};
+
+bool is_two_qubit(GateKind kind) noexcept;
+bool is_rotation(GateKind kind) noexcept;
+const char* gate_name(GateKind kind) noexcept;
+
+struct Gate {
+  GateKind kind;
+  int q0 = -1;
+  int q1 = -1;       ///< -1 for single-qubit gates
+  double param = 0;  ///< rotation angle where applicable
+
+  bool operator==(const Gate& other) const noexcept;
+};
+
+struct CircuitStats {
+  std::size_t total_gates = 0;
+  std::size_t two_qubit_gates = 0;
+  std::size_t rotations = 0;
+  int depth = 0;      ///< greedy ASAP layering, barriers respected
+  int depth_2q = 0;   ///< depth counting only two-qubit layers
+};
+
+class Circuit {
+ public:
+  explicit Circuit(int num_qubits);
+
+  int num_qubits() const noexcept { return num_qubits_; }
+  const std::vector<Gate>& gates() const noexcept { return gates_; }
+  std::size_t size() const noexcept { return gates_.size(); }
+
+  // Fluent emitters; all validate qubit indices.
+  Circuit& h(int q);
+  Circuit& x(int q);
+  Circuit& y(int q);
+  Circuit& z(int q);
+  Circuit& rx(int q, double theta);
+  Circuit& ry(int q, double theta);
+  Circuit& rz(int q, double theta);
+  Circuit& phase(int q, double phi);
+  Circuit& cx(int control, int target);
+  Circuit& cz(int a, int b);
+  Circuit& swap(int a, int b);
+  Circuit& rzz(int a, int b, double theta);
+  Circuit& barrier();
+
+  void append(const Gate& gate);
+  void append(const Circuit& other);
+
+  CircuitStats stats() const;
+  /// Human-readable one-gate-per-line dump (tests, debugging).
+  std::string str() const;
+
+ private:
+  void check_qubit(int q) const;
+  int num_qubits_;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qq::circuit

@@ -1,0 +1,16 @@
+#pragma once
+// Circuit execution on the state-vector simulator.
+
+#include "qcircuit/circuit.hpp"
+#include "qsim/statevector.hpp"
+
+namespace qq::circuit {
+
+/// Apply every gate of `qc` to `sv` in order (barriers are no-ops at
+/// simulation time).
+void apply(const Circuit& qc, sim::StateVector& sv);
+
+/// Run `qc` from |0...0> and return the final state.
+sim::StateVector run(const Circuit& qc);
+
+}  // namespace qq::circuit

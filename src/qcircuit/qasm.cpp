@@ -1,0 +1,207 @@
+#include "qcircuit/qasm.hpp"
+
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace qq::circuit {
+
+void write_qasm(const Circuit& qc, std::ostream& os,
+                const QasmOptions& options) {
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  os << "qreg q[" << qc.num_qubits() << "];\n";
+  if (options.include_measurement) {
+    os << "creg c[" << qc.num_qubits() << "];\n";
+  }
+  os << std::setprecision(17);
+  for (const Gate& g : qc.gates()) {
+    switch (g.kind) {
+      case GateKind::kH: os << "h q[" << g.q0 << "];\n"; break;
+      case GateKind::kX: os << "x q[" << g.q0 << "];\n"; break;
+      case GateKind::kY: os << "y q[" << g.q0 << "];\n"; break;
+      case GateKind::kZ: os << "z q[" << g.q0 << "];\n"; break;
+      case GateKind::kRx:
+        os << "rx(" << g.param << ") q[" << g.q0 << "];\n";
+        break;
+      case GateKind::kRy:
+        os << "ry(" << g.param << ") q[" << g.q0 << "];\n";
+        break;
+      case GateKind::kRz:
+        os << "rz(" << g.param << ") q[" << g.q0 << "];\n";
+        break;
+      case GateKind::kPhase:
+        os << "p(" << g.param << ") q[" << g.q0 << "];\n";
+        break;
+      case GateKind::kCx:
+        os << "cx q[" << g.q0 << "],q[" << g.q1 << "];\n";
+        break;
+      case GateKind::kCz:
+        os << "cz q[" << g.q0 << "],q[" << g.q1 << "];\n";
+        break;
+      case GateKind::kSwap:
+        os << "swap q[" << g.q0 << "],q[" << g.q1 << "];\n";
+        break;
+      case GateKind::kRzz:
+        // qelib1 has no rzz: canonical CX-conjugated RZ decomposition.
+        os << "cx q[" << g.q0 << "],q[" << g.q1 << "];\n";
+        os << "rz(" << g.param << ") q[" << g.q1 << "];\n";
+        os << "cx q[" << g.q0 << "],q[" << g.q1 << "];\n";
+        break;
+      case GateKind::kBarrier:
+        os << "barrier q;\n";
+        break;
+    }
+  }
+  if (options.include_measurement) {
+    os << "measure q -> c;\n";
+  }
+}
+
+std::string to_qasm(const Circuit& qc, const QasmOptions& options) {
+  std::ostringstream os;
+  write_qasm(qc, os, options);
+  return os.str();
+}
+
+namespace {
+
+struct Parser {
+  std::string text;
+  std::size_t pos = 0;
+
+  void skip_space_and_comments() {
+    while (pos < text.size()) {
+      if (std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      } else if (text.compare(pos, 2, "//") == 0) {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool done() {
+    skip_space_and_comments();
+    return pos >= text.size();
+  }
+
+  /// Read up to the next ';' as one statement (QASM statements are
+  /// semicolon-terminated).
+  std::string next_statement() {
+    skip_space_and_comments();
+    const std::size_t start = pos;
+    while (pos < text.size() && text[pos] != ';') ++pos;
+    if (pos >= text.size()) {
+      throw std::runtime_error("from_qasm: unterminated statement");
+    }
+    std::string stmt = text.substr(start, pos - start);
+    ++pos;  // consume ';'
+    return stmt;
+  }
+};
+
+std::string trimmed(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+/// Parse "q[3]" -> 3.
+int parse_qubit_ref(const std::string& token) {
+  const auto open = token.find('[');
+  const auto close = token.find(']');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    throw std::runtime_error("from_qasm: bad qubit reference '" + token + "'");
+  }
+  return std::stoi(token.substr(open + 1, close - open - 1));
+}
+
+}  // namespace
+
+Circuit from_qasm(const std::string& text) {
+  Parser parser{text};
+  int num_qubits = -1;
+  std::vector<std::string> statements;
+  while (!parser.done()) statements.push_back(parser.next_statement());
+
+  // First pass: find the qreg declaration.
+  for (const auto& raw : statements) {
+    const std::string stmt = trimmed(raw);
+    if (stmt.rfind("qreg", 0) == 0) {
+      num_qubits = parse_qubit_ref(stmt);
+      break;
+    }
+  }
+  if (num_qubits < 0) {
+    throw std::runtime_error("from_qasm: missing qreg declaration");
+  }
+  Circuit qc(num_qubits);
+
+  for (const auto& raw : statements) {
+    const std::string stmt = trimmed(raw);
+    if (stmt.empty() || stmt.rfind("OPENQASM", 0) == 0 ||
+        stmt.rfind("include", 0) == 0 || stmt.rfind("qreg", 0) == 0 ||
+        stmt.rfind("creg", 0) == 0 || stmt.rfind("measure", 0) == 0) {
+      continue;
+    }
+    if (stmt.rfind("barrier", 0) == 0) {
+      qc.barrier();
+      continue;
+    }
+    // Gate name, optional "(param)", operand list.
+    std::size_t i = 0;
+    while (i < stmt.size() &&
+           (std::isalnum(static_cast<unsigned char>(stmt[i])) ||
+            stmt[i] == '_')) {
+      ++i;
+    }
+    const std::string name = stmt.substr(0, i);
+    double param = 0.0;
+    if (i < stmt.size() && stmt[i] == '(') {
+      const auto close = stmt.find(')', i);
+      if (close == std::string::npos) {
+        throw std::runtime_error("from_qasm: unclosed parameter in '" + stmt +
+                                 "'");
+      }
+      param = std::stod(stmt.substr(i + 1, close - i - 1));
+      i = close + 1;
+    }
+    // Operands: comma-separated qubit refs.
+    std::vector<int> qubits;
+    std::string rest = stmt.substr(i);
+    std::stringstream ss(rest);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      token = trimmed(token);
+      if (!token.empty()) qubits.push_back(parse_qubit_ref(token));
+    }
+    auto need = [&](std::size_t count) {
+      if (qubits.size() != count) {
+        throw std::runtime_error("from_qasm: wrong operand count in '" + stmt +
+                                 "'");
+      }
+    };
+    if (name == "h") { need(1); qc.h(qubits[0]); }
+    else if (name == "x") { need(1); qc.x(qubits[0]); }
+    else if (name == "y") { need(1); qc.y(qubits[0]); }
+    else if (name == "z") { need(1); qc.z(qubits[0]); }
+    else if (name == "rx") { need(1); qc.rx(qubits[0], param); }
+    else if (name == "ry") { need(1); qc.ry(qubits[0], param); }
+    else if (name == "rz") { need(1); qc.rz(qubits[0], param); }
+    else if (name == "p" || name == "u1") { need(1); qc.phase(qubits[0], param); }
+    else if (name == "cx") { need(2); qc.cx(qubits[0], qubits[1]); }
+    else if (name == "cz") { need(2); qc.cz(qubits[0], qubits[1]); }
+    else if (name == "swap") { need(2); qc.swap(qubits[0], qubits[1]); }
+    else {
+      throw std::runtime_error("from_qasm: unsupported gate '" + name + "'");
+    }
+  }
+  return qc;
+}
+
+}  // namespace qq::circuit

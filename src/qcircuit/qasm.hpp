@@ -1,0 +1,32 @@
+#pragma once
+// OpenQASM 2.0 interchange — the bridge from the simulated workflow to real
+// quantum devices (the paper's abstract highlights "the adequacy of the
+// workflow in the preparation of real quantum devices": a QAOA^2 sub-graph
+// circuit exported here can be submitted to any QASM-speaking backend).
+//
+// Export targets the qelib1 gate set; RZZ is lowered to CX·RZ·CX. The
+// importer understands exactly the dialect the exporter writes (plus
+// whitespace/comment freedom) — enough for round-trip tests and for
+// reading back externally edited circuits.
+
+#include <iosfwd>
+#include <string>
+
+#include "qcircuit/circuit.hpp"
+
+namespace qq::circuit {
+
+struct QasmOptions {
+  /// Append `measure q -> c;` for all qubits.
+  bool include_measurement = true;
+};
+
+std::string to_qasm(const Circuit& qc, const QasmOptions& options = {});
+void write_qasm(const Circuit& qc, std::ostream& os,
+                const QasmOptions& options = {});
+
+/// Parse the dialect produced by to_qasm (h/x/y/z/rx/ry/rz/p/cx/cz/swap,
+/// barrier, measure ignored). Throws std::runtime_error on anything else.
+Circuit from_qasm(const std::string& text);
+
+}  // namespace qq::circuit

@@ -1,0 +1,48 @@
+#pragma once
+// Random and structured graph generators.
+//
+// `erdos_renyi` with unit or U[0,1] weights is the paper's workload
+// (§4: node counts 15–33 and 500–2500, edge probabilities 0.1–0.5, "a graph
+// instance with uniform edges and one with edge weights randomly chosen in
+// [0,1]"). The structured families are used by tests and the partitioning
+// property suites.
+
+#include "qgraph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace qq::graph {
+
+enum class WeightMode {
+  kUnit,       ///< every edge weight 1 ("unweighted")
+  kUniform01,  ///< weights drawn uniformly from [0, 1) ("weighted")
+};
+
+/// G(n, p): each of the n(n-1)/2 edges present independently with
+/// probability p. Uses geometric skipping so sparse graphs cost O(n + m).
+Graph erdos_renyi(NodeId n, double p, util::Rng& rng,
+                  WeightMode mode = WeightMode::kUnit);
+
+Graph complete_graph(NodeId n, double w = 1.0);
+Graph cycle_graph(NodeId n, double w = 1.0);
+Graph path_graph(NodeId n, double w = 1.0);
+/// Star: node 0 is the hub.
+Graph star_graph(NodeId n, double w = 1.0);
+/// d-regular random graph via the pairing model (retries until simple).
+Graph random_regular(NodeId n, NodeId d, util::Rng& rng);
+/// `blocks` communities of `block_size` nodes; intra-block edge probability
+/// p_in, inter-block p_out. The canonical test bed for modularity
+/// partitioning.
+Graph planted_partition(NodeId blocks, NodeId block_size, double p_in,
+                        double p_out, util::Rng& rng);
+/// Two k-cliques joined by a path of `path_len` extra nodes.
+Graph barbell_graph(NodeId k, NodeId path_len);
+Graph grid_2d(NodeId rows, NodeId cols, double w = 1.0);
+/// Watts–Strogatz small world: ring lattice with k nearest neighbours per
+/// node (k even), each edge rewired with probability beta (avoiding
+/// duplicates and self-loops).
+Graph watts_strogatz(NodeId n, NodeId k, double beta, util::Rng& rng);
+/// Barabási–Albert preferential attachment: each new node attaches to m
+/// existing nodes with probability proportional to degree.
+Graph barabasi_albert(NodeId n, NodeId m, util::Rng& rng);
+
+}  // namespace qq::graph

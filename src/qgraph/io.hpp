@@ -1,0 +1,20 @@
+#pragma once
+// Plain-text edge-list persistence:
+//   line 1: "<num_nodes> <num_edges>"
+//   then one "<u> <v> <w>" per edge.
+// Lines starting with '#' are comments.
+
+#include <iosfwd>
+#include <string>
+
+#include "qgraph/graph.hpp"
+
+namespace qq::graph {
+
+void write_edge_list(const Graph& g, std::ostream& os);
+Graph read_edge_list(std::istream& is);
+
+void save_edge_list(const Graph& g, const std::string& path);
+Graph load_edge_list(const std::string& path);
+
+}  // namespace qq::graph

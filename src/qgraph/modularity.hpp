@@ -1,0 +1,24 @@
+#pragma once
+// Greedy modularity community detection (Clauset–Newman–Moore), the
+// partitioner QAOA^2 step 2 prescribes ("the greedy modularity method from
+// the NetworkX library is used, which maximizes the modularity").
+
+#include <vector>
+
+#include "qgraph/graph.hpp"
+
+namespace qq::graph {
+
+/// Newman weighted modularity Q of a node->community assignment:
+///   Q = Σ_c [ Σ_in(c)/(2m) − (Σ_tot(c)/(2m))² ]
+/// where m is the total edge weight. Returns 0 for edgeless graphs.
+double modularity(const Graph& g, const std::vector<int>& community_of);
+
+/// CNM greedy agglomeration: start from singletons, repeatedly merge the
+/// connected community pair with the largest ΔQ, and return the partition
+/// with the highest Q seen along the merge sequence (NetworkX semantics).
+/// Communities are sorted by size descending, ties by smallest node id;
+/// node lists are sorted ascending.
+std::vector<std::vector<NodeId>> greedy_modularity_communities(const Graph& g);
+
+}  // namespace qq::graph

@@ -1,0 +1,209 @@
+#include "qsim/blocked.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qq::sim {
+
+BlockedStateVector::BlockedStateVector(int num_qubits, int block_bits)
+    : num_qubits_(num_qubits), block_bits_(block_bits) {
+  if (num_qubits < 0 || num_qubits > kMaxQubits) {
+    throw std::invalid_argument("BlockedStateVector: bad qubit count");
+  }
+  if (block_bits < 0 || block_bits > num_qubits) {
+    throw std::invalid_argument(
+        "BlockedStateVector: block_bits must lie in [0, num_qubits]");
+  }
+  local_bits_ = num_qubits - block_bits;
+  const std::size_t block_size = std::size_t{1} << local_bits_;
+  blocks_.assign(std::size_t{1} << block_bits_,
+                 std::vector<Amplitude>(block_size, Amplitude{0, 0}));
+  blocks_[0][0] = Amplitude{1, 0};
+}
+
+void BlockedStateVector::set_plus_state() {
+  const double a =
+      1.0 / std::sqrt(static_cast<double>(std::size_t{1} << num_qubits_));
+  for (auto& block : blocks_) {
+    for (auto& amp : block) amp = Amplitude{a, 0};
+  }
+}
+
+void BlockedStateVector::apply_local_1q(int q,
+                                        const std::array<Amplitude, 4>& m) {
+  const std::size_t bit = std::size_t{1} << q;
+  const std::size_t mask = bit - 1;
+  const std::size_t pairs = blocks_[0].size() >> 1;
+  for (auto& block : blocks_) {
+    for (std::size_t t = 0; t < pairs; ++t) {
+      const std::size_t i0 = ((t & ~mask) << 1) | (t & mask);
+      const std::size_t i1 = i0 | bit;
+      const Amplitude a0 = block[i0];
+      const Amplitude a1 = block[i1];
+      block[i0] = m[0] * a0 + m[1] * a1;
+      block[i1] = m[2] * a0 + m[3] * a1;
+    }
+  }
+  ++stats_.local_gates;
+}
+
+void BlockedStateVector::apply_global_1q(int q,
+                                         const std::array<Amplitude, 4>& m) {
+  // Pair blocks differing in this qubit's block-index bit: on the real
+  // machine each pair is two MPI ranks exchanging their halves.
+  const std::size_t gbit = std::size_t{1} << (q - local_bits_);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    if (b & gbit) continue;
+    auto& lo = blocks_[b];
+    auto& hi = blocks_[b | gbit];
+    for (std::size_t i = 0; i < lo.size(); ++i) {
+      const Amplitude a0 = lo[i];
+      const Amplitude a1 = hi[i];
+      lo[i] = m[0] * a0 + m[1] * a1;
+      hi[i] = m[2] * a0 + m[3] * a1;
+    }
+  }
+  ++stats_.global_gates;
+  stats_.amps_exchanged += std::uint64_t{1} << num_qubits_;
+}
+
+namespace {
+std::array<Amplitude, 4> h_matrix() {
+  const double s = 1.0 / std::sqrt(2.0);
+  return {Amplitude{s, 0}, Amplitude{s, 0}, Amplitude{s, 0}, Amplitude{-s, 0}};
+}
+std::array<Amplitude, 4> rx_matrix(double theta) {
+  const double c = std::cos(theta * 0.5);
+  const double s = std::sin(theta * 0.5);
+  return {Amplitude{c, 0}, Amplitude{0, -s}, Amplitude{0, -s}, Amplitude{c, 0}};
+}
+}  // namespace
+
+void BlockedStateVector::apply_h(int q) {
+  if (q < 0 || q >= num_qubits_) {
+    throw std::out_of_range("BlockedStateVector::apply_h: bad qubit");
+  }
+  is_global(q) ? apply_global_1q(q, h_matrix()) : apply_local_1q(q, h_matrix());
+}
+
+void BlockedStateVector::apply_rx(int q, double theta) {
+  if (q < 0 || q >= num_qubits_) {
+    throw std::out_of_range("BlockedStateVector::apply_rx: bad qubit");
+  }
+  const auto m = rx_matrix(theta);
+  is_global(q) ? apply_global_1q(q, m) : apply_local_1q(q, m);
+}
+
+void BlockedStateVector::apply_rz(int q, double theta) {
+  if (q < 0 || q >= num_qubits_) {
+    throw std::out_of_range("BlockedStateVector::apply_rz: bad qubit");
+  }
+  // Diagonal: never needs communication (Doi & Horii's key saving) — for a
+  // global qubit the phase is constant per block.
+  const Amplitude e0 = std::polar(1.0, -theta * 0.5);
+  const Amplitude e1 = std::polar(1.0, theta * 0.5);
+  if (is_global(q)) {
+    const std::size_t gbit = std::size_t{1} << (q - local_bits_);
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      const Amplitude phase = (b & gbit) ? e1 : e0;
+      for (auto& amp : blocks_[b]) amp *= phase;
+    }
+  } else {
+    const std::size_t bit = std::size_t{1} << q;
+    for (auto& block : blocks_) {
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        block[i] *= (i & bit) ? e1 : e0;
+      }
+    }
+  }
+  ++stats_.local_gates;
+}
+
+void BlockedStateVector::apply_rzz(int a, int b, double theta) {
+  if (a < 0 || a >= num_qubits_ || b < 0 || b >= num_qubits_ || a == b) {
+    throw std::invalid_argument("BlockedStateVector::apply_rzz: bad qubits");
+  }
+  // Diagonal: communication-free regardless of locality. Bit values come
+  // from the block index for global qubits and the offset for local ones.
+  const Amplitude same = std::polar(1.0, -theta * 0.5);
+  const Amplitude diff = std::polar(1.0, theta * 0.5);
+  for (std::size_t blk = 0; blk < blocks_.size(); ++blk) {
+    const std::size_t base = blk << local_bits_;
+    auto& block = blocks_[blk];
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const std::size_t g = base | i;
+      const bool za = (g >> a) & 1;
+      const bool zb = (g >> b) & 1;
+      block[i] *= (za == zb) ? same : diff;
+    }
+  }
+  ++stats_.local_gates;
+}
+
+void BlockedStateVector::apply_cx(int control, int target) {
+  if (control < 0 || control >= num_qubits_ || target < 0 ||
+      target >= num_qubits_ || control == target) {
+    throw std::invalid_argument("BlockedStateVector::apply_cx: bad qubits");
+  }
+  if (!is_global(target)) {
+    // Target-local: each block permutes internally; a global control just
+    // selects which blocks act. No communication.
+    const std::size_t tbit = std::size_t{1} << target;
+    if (is_global(control)) {
+      const std::size_t gbit = std::size_t{1} << (control - local_bits_);
+      for (std::size_t blk = 0; blk < blocks_.size(); ++blk) {
+        if (!(blk & gbit)) continue;
+        auto& block = blocks_[blk];
+        for (std::size_t i = 0; i < block.size(); ++i) {
+          if (!(i & tbit)) std::swap(block[i], block[i | tbit]);
+        }
+      }
+    } else {
+      const std::size_t cbit = std::size_t{1} << control;
+      for (auto& block : blocks_) {
+        for (std::size_t i = 0; i < block.size(); ++i) {
+          if ((i & cbit) && !(i & tbit)) std::swap(block[i], block[i | tbit]);
+        }
+      }
+    }
+    ++stats_.local_gates;
+    return;
+  }
+  // Target-global: blocks pair across the target bit.
+  const std::size_t tgbit = std::size_t{1} << (target - local_bits_);
+  if (is_global(control)) {
+    // Both global: participating block pairs swap wholesale.
+    const std::size_t cgbit = std::size_t{1} << (control - local_bits_);
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      if ((b & cgbit) && !(b & tgbit)) {
+        blocks_[b].swap(blocks_[b | tgbit]);
+      }
+    }
+  } else {
+    // Control local: each pair exchanges the control=1 half.
+    const std::size_t cbit = std::size_t{1} << control;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      if (b & tgbit) continue;
+      auto& lo = blocks_[b];
+      auto& hi = blocks_[b | tgbit];
+      for (std::size_t i = 0; i < lo.size(); ++i) {
+        if (i & cbit) std::swap(lo[i], hi[i]);
+      }
+    }
+  }
+  ++stats_.global_gates;
+  stats_.amps_exchanged += std::uint64_t{1} << (num_qubits_ - 1);
+}
+
+StateVector BlockedStateVector::to_statevector() const {
+  StateVector out(num_qubits_);
+  for (std::size_t blk = 0; blk < blocks_.size(); ++blk) {
+    const std::size_t base = blk << local_bits_;
+    for (std::size_t i = 0; i < blocks_[blk].size(); ++i) {
+      out.set_amplitude(base | i, blocks_[blk][i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace qq::sim

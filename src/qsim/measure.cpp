@@ -1,0 +1,144 @@
+#include "qsim/measure.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace qq::sim {
+
+std::vector<double> probabilities(const StateVector& sv) {
+  const auto& amps = sv.data();
+  std::vector<double> probs(amps.size());
+  util::parallel_for_chunks(
+      0, amps.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) probs[i] = std::norm(amps[i]);
+      },
+      1 << 14);
+  return probs;
+}
+
+BasisState argmax_probability(const StateVector& sv) {
+  const auto& amps = sv.data();
+  std::size_t best = 0;
+  double best_p = std::norm(amps[0]);
+  for (std::size_t i = 1; i < amps.size(); ++i) {
+    const double p = std::norm(amps[i]);
+    if (p > best_p) {
+      best_p = p;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<BasisState, double>> top_k_states(const StateVector& sv,
+                                                        int k) {
+  if (k < 1) throw std::invalid_argument("top_k_states: k must be >= 1");
+  const auto& amps = sv.data();
+  const std::size_t kk = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                               amps.size());
+  std::vector<BasisState> idx(amps.size());
+  std::iota(idx.begin(), idx.end(), BasisState{0});
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(kk),
+                    idx.end(), [&amps](BasisState a, BasisState b) {
+                      const double pa = std::norm(amps[a]);
+                      const double pb = std::norm(amps[b]);
+                      if (pa != pb) return pa > pb;
+                      return a < b;
+                    });
+  std::vector<std::pair<BasisState, double>> out;
+  out.reserve(kk);
+  for (std::size_t i = 0; i < kk; ++i) {
+    out.emplace_back(idx[i], std::norm(amps[idx[i]]));
+  }
+  return out;
+}
+
+std::vector<BasisState> sample_counts(const StateVector& sv, int shots,
+                                      util::Rng& rng) {
+  if (shots < 0) throw std::invalid_argument("sample_counts: negative shots");
+  std::vector<double> cdf = probabilities(sv);
+  std::partial_sum(cdf.begin(), cdf.end(), cdf.begin());
+  const double total = cdf.back();
+  std::vector<BasisState> out;
+  out.reserve(static_cast<std::size_t>(shots));
+  for (int s = 0; s < shots; ++s) {
+    const double r = util::uniform(rng) * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    out.push_back(static_cast<BasisState>(it - cdf.begin()));
+  }
+  return out;
+}
+
+std::vector<std::pair<BasisState, int>> histogram(
+    const std::vector<BasisState>& shots) {
+  std::map<BasisState, int> counts;
+  for (const BasisState s : shots) ++counts[s];
+  std::vector<std::pair<BasisState, int>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+double expectation_diagonal(const StateVector& sv,
+                            const std::vector<double>& values) {
+  const auto& amps = sv.data();
+  if (values.size() != amps.size()) {
+    throw std::invalid_argument("expectation_diagonal: table size mismatch");
+  }
+  // Chunked parallel reduction with per-chunk partials.
+  std::mutex mutex;
+  double total = 0.0;
+  util::parallel_for_chunks(
+      0, amps.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        double partial = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          partial += std::norm(amps[i]) * values[i];
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        total += partial;
+      },
+      1 << 14);
+  return total;
+}
+
+double expectation_z(const StateVector& sv, int q) {
+  if (q < 0 || q >= sv.num_qubits()) {
+    throw std::out_of_range("expectation_z: bad qubit");
+  }
+  const auto& amps = sv.data();
+  const BasisState bit = BasisState{1} << q;
+  double total = 0.0;
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    const double p = std::norm(amps[i]);
+    total += (i & bit) ? -p : p;
+  }
+  return total;
+}
+
+double expectation_zz(const StateVector& sv, int a, int b) {
+  if (a < 0 || a >= sv.num_qubits() || b < 0 || b >= sv.num_qubits()) {
+    throw std::out_of_range("expectation_zz: bad qubit");
+  }
+  const auto& amps = sv.data();
+  const BasisState abit = BasisState{1} << a;
+  const BasisState bbit = BasisState{1} << b;
+  double total = 0.0;
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    const double p = std::norm(amps[i]);
+    const bool za = (i & abit) != 0;
+    const bool zb = (i & bbit) != 0;
+    total += (za == zb) ? p : -p;
+  }
+  return total;
+}
+
+}  // namespace qq::sim

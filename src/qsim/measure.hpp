@@ -1,0 +1,47 @@
+#pragma once
+// Measurement, sampling and expectation utilities over a StateVector.
+//
+// The paper simulates 4096 shots per circuit execution and, for solution
+// extraction, "the bit string corresponding to the highest amplitude ... is
+// chosen" (§3.2) — with the top-k variant flagged as the obvious
+// improvement (§5). Both are provided.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "qsim/statevector.hpp"
+#include "util/rng.hpp"
+
+namespace qq::sim {
+
+/// |amp|^2 for every basis state (2^n doubles).
+std::vector<double> probabilities(const StateVector& sv);
+
+/// Basis state with the largest probability (ties -> smallest index).
+BasisState argmax_probability(const StateVector& sv);
+
+/// The k most probable basis states, sorted by descending probability.
+std::vector<std::pair<BasisState, double>> top_k_states(const StateVector& sv,
+                                                        int k);
+
+/// Sample `shots` basis states from |psi|^2 via inverse-CDF binary search.
+std::vector<BasisState> sample_counts(const StateVector& sv, int shots,
+                                      util::Rng& rng);
+
+/// Aggregate shot counts into (state, count) pairs sorted by count desc.
+std::vector<std::pair<BasisState, int>> histogram(
+    const std::vector<BasisState>& shots);
+
+/// Σ_s |amp_s|^2 * values[s] — expectation of any diagonal observable
+/// (H_C evaluation uses the per-state cut table).
+double expectation_diagonal(const StateVector& sv,
+                            const std::vector<double>& values);
+
+/// <Z_q> in the computational basis convention Z|0> = +|0>.
+double expectation_z(const StateVector& sv, int q);
+
+/// <Z_a Z_b>.
+double expectation_zz(const StateVector& sv, int a, int b);
+
+}  // namespace qq::sim

@@ -1,0 +1,267 @@
+#include "qsim/statevector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/thread_pool.hpp"
+
+namespace qq::sim {
+
+namespace {
+constexpr std::size_t kParallelGrain = 1 << 14;
+
+/// Spread index t over the bit positions excluding `q`: returns the basis
+/// index with bit q forced to zero whose remaining bits enumerate t.
+inline BasisState insert_zero_bit(std::uint64_t t, int q) noexcept {
+  const BasisState mask = (BasisState{1} << q) - 1;
+  return ((t & ~mask) << 1) | (t & mask);
+}
+}  // namespace
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits < 0 || num_qubits > kMaxQubits) {
+    throw std::invalid_argument("StateVector: qubit count must be in [0, " +
+                                std::to_string(kMaxQubits) + "], got " +
+                                std::to_string(num_qubits));
+  }
+  amps_.assign(std::size_t{1} << num_qubits, Amplitude{0.0, 0.0});
+  amps_[0] = Amplitude{1.0, 0.0};
+}
+
+StateVector StateVector::plus_state(int num_qubits) {
+  StateVector sv(num_qubits);
+  const double a = 1.0 / std::sqrt(static_cast<double>(sv.size()));
+  util::parallel_for_chunks(
+      0, sv.size(),
+      [&sv, a](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) sv.amps_[i] = Amplitude{a, 0.0};
+      },
+      kParallelGrain);
+  return sv;
+}
+
+void StateVector::check_qubit(int q) const {
+  if (q < 0 || q >= num_qubits_) {
+    throw std::out_of_range("StateVector: qubit index " + std::to_string(q) +
+                            " out of range for " + std::to_string(num_qubits_) +
+                            " qubits");
+  }
+}
+
+double StateVector::norm_squared() const {
+  // Serial reduction is fine: measurement helpers handle the hot paths.
+  double sum = 0.0;
+  for (const Amplitude& a : amps_) sum += std::norm(a);
+  return sum;
+}
+
+void StateVector::normalize() {
+  const double n2 = norm_squared();
+  if (n2 <= 0.0) {
+    throw std::runtime_error("StateVector::normalize: zero state");
+  }
+  const double inv = 1.0 / std::sqrt(n2);
+  util::parallel_for_chunks(
+      0, amps_.size(),
+      [this, inv](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) amps_[i] *= inv;
+      },
+      kParallelGrain);
+}
+
+void StateVector::apply_unitary1(int q, const std::array<Amplitude, 4>& m) {
+  check_qubit(q);
+  const BasisState bit = BasisState{1} << q;
+  const std::size_t pairs = amps_.size() >> 1;
+  util::parallel_for_chunks(
+      0, pairs,
+      [this, q, bit, &m](std::size_t lo, std::size_t hi) {
+        for (std::size_t t = lo; t < hi; ++t) {
+          const BasisState i0 = insert_zero_bit(t, q);
+          const BasisState i1 = i0 | bit;
+          const Amplitude a0 = amps_[i0];
+          const Amplitude a1 = amps_[i1];
+          amps_[i0] = m[0] * a0 + m[1] * a1;
+          amps_[i1] = m[2] * a0 + m[3] * a1;
+        }
+      },
+      kParallelGrain);
+}
+
+void StateVector::apply_h(int q) {
+  const double s = 1.0 / std::sqrt(2.0);
+  apply_unitary1(q, {Amplitude{s, 0}, Amplitude{s, 0}, Amplitude{s, 0},
+                     Amplitude{-s, 0}});
+}
+
+void StateVector::apply_x(int q) {
+  check_qubit(q);
+  const BasisState bit = BasisState{1} << q;
+  const std::size_t pairs = amps_.size() >> 1;
+  util::parallel_for_chunks(
+      0, pairs,
+      [this, q, bit](std::size_t lo, std::size_t hi) {
+        for (std::size_t t = lo; t < hi; ++t) {
+          const BasisState i0 = insert_zero_bit(t, q);
+          std::swap(amps_[i0], amps_[i0 | bit]);
+        }
+      },
+      kParallelGrain);
+}
+
+void StateVector::apply_y(int q) {
+  apply_unitary1(q, {Amplitude{0, 0}, Amplitude{0, -1}, Amplitude{0, 1},
+                     Amplitude{0, 0}});
+}
+
+void StateVector::apply_z(int q) {
+  check_qubit(q);
+  const BasisState bit = BasisState{1} << q;
+  util::parallel_for_chunks(
+      0, amps_.size(),
+      [this, bit](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (i & bit) amps_[i] = -amps_[i];
+        }
+      },
+      kParallelGrain);
+}
+
+void StateVector::apply_rx(int q, double theta) {
+  const double c = std::cos(theta * 0.5);
+  const double s = std::sin(theta * 0.5);
+  apply_unitary1(q, {Amplitude{c, 0}, Amplitude{0, -s}, Amplitude{0, -s},
+                     Amplitude{c, 0}});
+}
+
+void StateVector::apply_ry(int q, double theta) {
+  const double c = std::cos(theta * 0.5);
+  const double s = std::sin(theta * 0.5);
+  apply_unitary1(q, {Amplitude{c, 0}, Amplitude{-s, 0}, Amplitude{s, 0},
+                     Amplitude{c, 0}});
+}
+
+void StateVector::apply_rz(int q, double theta) {
+  check_qubit(q);
+  const Amplitude e0 = std::polar(1.0, -theta * 0.5);
+  const Amplitude e1 = std::polar(1.0, theta * 0.5);
+  const BasisState bit = BasisState{1} << q;
+  util::parallel_for_chunks(
+      0, amps_.size(),
+      [this, bit, e0, e1](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          amps_[i] *= (i & bit) ? e1 : e0;
+        }
+      },
+      kParallelGrain);
+}
+
+void StateVector::apply_phase(int q, double phi) {
+  check_qubit(q);
+  const Amplitude e = std::polar(1.0, phi);
+  const BasisState bit = BasisState{1} << q;
+  util::parallel_for_chunks(
+      0, amps_.size(),
+      [this, bit, e](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (i & bit) amps_[i] *= e;
+        }
+      },
+      kParallelGrain);
+}
+
+void StateVector::apply_cx(int control, int target) {
+  check_qubit(control);
+  check_qubit(target);
+  if (control == target) {
+    throw std::invalid_argument("apply_cx: control == target");
+  }
+  const BasisState cbit = BasisState{1} << control;
+  const BasisState tbit = BasisState{1} << target;
+  util::parallel_for_chunks(
+      0, amps_.size(),
+      [this, cbit, tbit](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          // Swap each pair exactly once: act on the (control=1, target=0)
+          // representative.
+          if ((i & cbit) && !(i & tbit)) {
+            std::swap(amps_[i], amps_[i | tbit]);
+          }
+        }
+      },
+      kParallelGrain);
+}
+
+void StateVector::apply_cz(int a, int b) {
+  check_qubit(a);
+  check_qubit(b);
+  if (a == b) throw std::invalid_argument("apply_cz: identical qubits");
+  const BasisState mask = (BasisState{1} << a) | (BasisState{1} << b);
+  util::parallel_for_chunks(
+      0, amps_.size(),
+      [this, mask](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if ((i & mask) == mask) amps_[i] = -amps_[i];
+        }
+      },
+      kParallelGrain);
+}
+
+void StateVector::apply_swap(int a, int b) {
+  check_qubit(a);
+  check_qubit(b);
+  if (a == b) return;
+  const BasisState abit = BasisState{1} << a;
+  const BasisState bbit = BasisState{1} << b;
+  util::parallel_for_chunks(
+      0, amps_.size(),
+      [this, abit, bbit](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if ((i & abit) && !(i & bbit)) {
+            std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
+          }
+        }
+      },
+      kParallelGrain);
+}
+
+void StateVector::apply_rzz(int a, int b, double theta) {
+  check_qubit(a);
+  check_qubit(b);
+  if (a == b) throw std::invalid_argument("apply_rzz: identical qubits");
+  // exp(-i θ/2 Z_a Z_b): phase e^{-iθ/2} when bits agree, e^{+iθ/2} when
+  // they differ.
+  const Amplitude same = std::polar(1.0, -theta * 0.5);
+  const Amplitude diff = std::polar(1.0, theta * 0.5);
+  const BasisState abit = BasisState{1} << a;
+  const BasisState bbit = BasisState{1} << b;
+  util::parallel_for_chunks(
+      0, amps_.size(),
+      [this, abit, bbit, same, diff](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const bool za = (i & abit) != 0;
+          const bool zb = (i & bbit) != 0;
+          amps_[i] *= (za == zb) ? same : diff;
+        }
+      },
+      kParallelGrain);
+}
+
+void StateVector::apply_diagonal_phase(const std::vector<double>& values,
+                                       double scale) {
+  if (values.size() != amps_.size()) {
+    throw std::invalid_argument(
+        "apply_diagonal_phase: table size must equal 2^n");
+  }
+  util::parallel_for_chunks(
+      0, amps_.size(),
+      [this, &values, scale](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          amps_[i] *= std::polar(1.0, -scale * values[i]);
+        }
+      },
+      kParallelGrain);
+}
+
+}  // namespace qq::sim

@@ -1,0 +1,102 @@
+#include "sched/engine.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace qq::sched {
+
+namespace {
+/// Counting semaphore with a plain mutex/condvar (portable, no C++20
+/// std::counting_semaphore template-arg ceiling games).
+class Slots {
+ public:
+  explicit Slots(int count) : available_(count) {
+    if (count < 1) throw std::invalid_argument("Slots: count must be >= 1");
+  }
+  void acquire() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return available_ > 0; });
+    --available_;
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++available_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int available_;
+};
+}  // namespace
+
+WorkflowEngine::WorkflowEngine(const EngineOptions& options)
+    : options_(options) {
+  if (options.quantum_slots < 1 || options.classical_slots < 1) {
+    throw std::invalid_argument("WorkflowEngine: slots must be >= 1");
+  }
+}
+
+BatchReport WorkflowEngine::run_batch(std::vector<Task> tasks) {
+  BatchReport report;
+  report.timings.resize(tasks.size());
+
+  Slots quantum(options_.quantum_slots);
+  Slots classical(options_.classical_slots);
+  std::mutex mutex;
+  std::exception_ptr first_error;
+  util::Timer clock;
+
+  auto& pool = util::ThreadPool::global();
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks.size());
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const double submit = clock.seconds();
+    report.timings[i].task = i;
+    report.timings[i].kind = tasks[i].kind;
+    report.timings[i].submit_s = submit;
+    futures.push_back(pool.submit([&, i] {
+      Slots& gate = tasks[i].kind == ResourceKind::kQuantum ? quantum
+                                                            : classical;
+      gate.acquire();
+      const double start = clock.seconds();
+      // A failing task must not leak its slot or abandon the batch while
+      // siblings still reference this frame; the first error is rethrown
+      // once everything has drained.
+      try {
+        tasks[i].work();
+      } catch (...) {
+        gate.release();
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+      const double end = clock.seconds();
+      gate.release();
+      std::lock_guard<std::mutex> lock(mutex);
+      report.timings[i].start_s = start;
+      report.timings[i].end_s = end;
+      report.busy_seconds += end - start;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+
+  report.wall_seconds = clock.seconds();
+  const int slots = options_.quantum_slots + options_.classical_slots;
+  const double ideal =
+      report.busy_seconds / std::min<double>(slots, pool.size());
+  report.coordination_seconds = std::max(0.0, report.wall_seconds - ideal);
+  return report;
+}
+
+}  // namespace qq::sched

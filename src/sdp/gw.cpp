@@ -1,0 +1,51 @@
+#include "sdp/gw.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace qq::sdp {
+
+GwResult goemans_williamson(const graph::Graph& g, const GwOptions& options) {
+  if (options.slicings < 1) {
+    throw std::invalid_argument("goemans_williamson: slicings must be >= 1");
+  }
+  GwResult result;
+  const MixingResult sdp = solve_maxcut_sdp(g, options.sdp);
+  result.sdp_bound = sdp.objective;
+  result.sdp_sweeps = sdp.sweeps;
+  result.sdp_converged = sdp.converged;
+
+  const graph::NodeId n = g.num_nodes();
+  const auto k = static_cast<std::size_t>(sdp.rank);
+  util::Rng rng(options.seed ^ 0x6077a11e5ULL);
+
+  result.best.value = -1.0;
+  double sum = 0.0;
+  std::vector<double> hyperplane(k);
+  maxcut::Assignment assignment(static_cast<std::size_t>(n));
+  for (int s = 0; s < options.slicings; ++s) {
+    for (double& c : hyperplane) c = util::normal(rng);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const double* vu = &sdp.vectors[static_cast<std::size_t>(u) * k];
+      double dot = 0.0;
+      for (std::size_t c = 0; c < k; ++c) dot += vu[c] * hyperplane[c];
+      assignment[static_cast<std::size_t>(u)] = dot >= 0.0 ? 1 : 0;
+    }
+    const double value = maxcut::cut_value(g, assignment);
+    sum += value;
+    if (value > result.best.value) {
+      result.best.value = value;
+      result.best.assignment = assignment;
+    }
+  }
+  result.average_value = sum / options.slicings;
+  if (n == 0) {
+    result.best.value = 0.0;
+    result.average_value = 0.0;
+  }
+  return result;
+}
+
+}  // namespace qq::sdp

@@ -1,0 +1,32 @@
+#pragma once
+// Goemans–Williamson approximate MaxCut (paper §3.4): solve the SDP
+// relaxation, then round with random hyperplanes. "Once the SDP is solved,
+// a slicing to determine the node values is applied 30 times, and the
+// average value of the cut is taken" — both the average (the paper's
+// QAOA-comparable statistic) and the best slicing are reported.
+
+#include "maxcut/cut.hpp"
+#include "sdp/mixing_method.hpp"
+
+namespace qq::sdp {
+
+struct GwOptions {
+  MixingOptions sdp;
+  int slicings = 30;
+  std::uint64_t seed = 7;
+};
+
+struct GwResult {
+  /// Best cut among the slicings.
+  maxcut::CutResult best;
+  /// Mean cut value over the slicings (paper's reported statistic).
+  double average_value = 0.0;
+  /// SDP objective: an upper bound on the optimal cut at convergence.
+  double sdp_bound = 0.0;
+  int sdp_sweeps = 0;
+  bool sdp_converged = false;
+};
+
+GwResult goemans_williamson(const graph::Graph& g, const GwOptions& options = {});
+
+}  // namespace qq::sdp

@@ -1,0 +1,94 @@
+#include "sdp/mixing_method.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace qq::sdp {
+
+double sdp_objective(const graph::Graph& g, const std::vector<double>& vectors,
+                     int rank) {
+  if (rank <= 0 ||
+      vectors.size() != static_cast<std::size_t>(g.num_nodes()) *
+                            static_cast<std::size_t>(rank)) {
+    throw std::invalid_argument("sdp_objective: embedding size mismatch");
+  }
+  const auto k = static_cast<std::size_t>(rank);
+  double obj = 0.0;
+  for (const graph::Edge& e : g.edges()) {
+    const double* vu = &vectors[static_cast<std::size_t>(e.u) * k];
+    const double* vv = &vectors[static_cast<std::size_t>(e.v) * k];
+    double dot = 0.0;
+    for (std::size_t c = 0; c < k; ++c) dot += vu[c] * vv[c];
+    obj += e.w * (1.0 - dot) * 0.5;
+  }
+  return obj;
+}
+
+MixingResult solve_maxcut_sdp(const graph::Graph& g,
+                              const MixingOptions& options) {
+  const graph::NodeId n = g.num_nodes();
+  MixingResult result;
+  const int rank =
+      options.rank > 0
+          ? options.rank
+          : static_cast<int>(
+                std::ceil(std::sqrt(2.0 * std::max<graph::NodeId>(n, 1)))) +
+                1;
+  result.rank = rank;
+  const auto k = static_cast<std::size_t>(rank);
+  result.vectors.resize(static_cast<std::size_t>(n) * k);
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Random unit-vector initialization.
+  util::Rng rng(options.seed ^ 0x5d97a7f2ULL);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    double* v = &result.vectors[static_cast<std::size_t>(u) * k];
+    double norm2 = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      v[c] = util::normal(rng);
+      norm2 += v[c] * v[c];
+    }
+    const double inv = 1.0 / std::sqrt(std::max(norm2, 1e-300));
+    for (std::size_t c = 0; c < k; ++c) v[c] *= inv;
+  }
+
+  std::vector<double> gsum(k);
+  double prev_obj = sdp_objective(g, result.vectors, rank);
+  for (int sweep = 1; sweep <= options.max_sweeps; ++sweep) {
+    for (graph::NodeId u = 0; u < n; ++u) {
+      // g_u = Σ_j w_uj v_j ; the objective term in v_u is −(1/2) v_u·g_u,
+      // maximized at v_u = −g_u / ‖g_u‖.
+      std::fill(gsum.begin(), gsum.end(), 0.0);
+      bool any = false;
+      for (const auto& [nbr, w] : g.neighbors(u)) {
+        const double* vn = &result.vectors[static_cast<std::size_t>(nbr) * k];
+        for (std::size_t c = 0; c < k; ++c) gsum[c] += w * vn[c];
+        any = true;
+      }
+      if (!any) continue;  // isolated node: any unit vector is optimal
+      double norm2 = 0.0;
+      for (std::size_t c = 0; c < k; ++c) norm2 += gsum[c] * gsum[c];
+      if (norm2 < 1e-300) continue;  // perfectly balanced neighbourhood
+      const double inv = -1.0 / std::sqrt(norm2);
+      double* vu = &result.vectors[static_cast<std::size_t>(u) * k];
+      for (std::size_t c = 0; c < k; ++c) vu[c] = inv * gsum[c];
+    }
+    const double obj = sdp_objective(g, result.vectors, rank);
+    result.sweeps = sweep;
+    if (obj - prev_obj < options.tol * std::max(1.0, std::abs(obj))) {
+      prev_obj = obj;
+      result.converged = true;
+      break;
+    }
+    prev_obj = obj;
+  }
+  result.objective = prev_obj;
+  return result;
+}
+
+}  // namespace qq::sdp

@@ -1,0 +1,109 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace qq::util {
+
+namespace {
+bool looks_like_flag(const std::string& s) {
+  return s.size() >= 3 && s[0] == '-' && s[1] == '-';
+}
+}  // namespace
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (!looks_like_flag(tok)) continue;
+    tok = tok.substr(2);
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      kv_[tok.substr(0, eq)] = tok.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself a flag.
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      kv_[tok] = argv[i + 1];
+      ++i;
+    } else {
+      kv_[tok] = "";  // boolean flag
+    }
+  }
+}
+
+std::optional<std::string> Args::lookup(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Args::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const auto v = lookup(key);
+  return v && !v->empty() ? *v : fallback;
+}
+
+int Args::get_int(const std::string& key, int fallback) const {
+  const auto v = lookup(key);
+  return v && !v->empty() ? std::stoi(*v) : fallback;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto v = lookup(key);
+  return v && !v->empty() ? std::stod(*v) : fallback;
+}
+
+namespace {
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<int> parse_int_list(const std::string& spec) {
+  std::vector<int> out;
+  const auto range_pos = spec.find("..");
+  if (range_pos != std::string::npos) {
+    const int lo = std::stoi(spec.substr(0, range_pos));
+    std::string rest = spec.substr(range_pos + 2);
+    int step = 1;
+    const auto colon = rest.find(':');
+    if (colon != std::string::npos) {
+      step = std::stoi(rest.substr(colon + 1));
+      rest = rest.substr(0, colon);
+    }
+    const int hi = std::stoi(rest);
+    if (step <= 0) throw std::invalid_argument("range step must be positive");
+    for (int v = lo; v <= hi; v += step) out.push_back(v);
+    return out;
+  }
+  for (const auto& tok : split(spec, ',')) out.push_back(std::stoi(tok));
+  return out;
+}
+}  // namespace
+
+std::vector<int> Args::get_int_list(const std::string& key,
+                                    const std::vector<int>& fallback) const {
+  const auto v = lookup(key);
+  if (!v || v->empty()) return fallback;
+  return parse_int_list(*v);
+}
+
+std::vector<double> Args::get_double_list(
+    const std::string& key, const std::vector<double>& fallback) const {
+  const auto v = lookup(key);
+  if (!v || v->empty()) return fallback;
+  std::vector<double> out;
+  for (const auto& tok : split(*v, ',')) out.push_back(std::stod(tok));
+  return out;
+}
+
+}  // namespace qq::util

@@ -1,0 +1,45 @@
+#pragma once
+// Leveled, thread-safe stderr logging. Level is read once from QQ_LOG
+// (error|warn|info|debug); default is warn so library users see problems
+// but benches stay quiet.
+
+#include <sstream>
+#include <string>
+
+namespace qq::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+bool log_enabled(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace qq::util
+
+#define QQ_LOG(level)                                        \
+  if (!::qq::util::log_enabled(level)) {                     \
+  } else                                                     \
+    ::qq::util::detail::LogLine(level)
+
+#define QQ_LOG_ERROR QQ_LOG(::qq::util::LogLevel::kError)
+#define QQ_LOG_WARN QQ_LOG(::qq::util::LogLevel::kWarn)
+#define QQ_LOG_INFO QQ_LOG(::qq::util::LogLevel::kInfo)
+#define QQ_LOG_DEBUG QQ_LOG(::qq::util::LogLevel::kDebug)

@@ -1,0 +1,127 @@
+#pragma once
+// Deterministic, splittable pseudo-random number generation.
+//
+// All stochastic components of the library (graph generators, shot sampling,
+// GW hyperplane slicing, simulated annealing, the scheduler's synthetic
+// workloads) draw from these generators so that every experiment is exactly
+// reproducible from a single 64-bit seed, independent of the standard
+// library implementation.
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace qq::util {
+
+/// SplitMix64: tiny generator used to seed larger state from one word.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the library's workhorse generator.
+/// Satisfies UniformRandomBitGenerator so it can also feed <random> if ever
+/// needed, but the distribution helpers below are preferred (deterministic
+/// across standard libraries).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child stream; used to give every parallel task
+  /// (sub-graph solve, shot batch, SDP restart) its own generator.
+  Rng split() noexcept {
+    Rng child(0);
+    SplitMix64 sm((*this)() ^ 0xd1342543de82ef95ULL);
+    for (auto& s : child.s_) s = sm.next();
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// Uniform double in [0, 1) with 53 bits of randomness.
+inline double uniform(Rng& rng) noexcept {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in [lo, hi).
+inline double uniform(Rng& rng, double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform(rng);
+}
+
+/// Uniform integer in [lo, hi] (inclusive). Uses Lemire-style rejection to
+/// avoid modulo bias.
+inline std::uint64_t uniform_u64(Rng& rng, std::uint64_t bound) noexcept {
+  // Returns value in [0, bound). bound must be >= 1.
+  __uint128_t m = static_cast<__uint128_t>(rng()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(rng()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+inline int uniform_int(Rng& rng, int lo, int hi) noexcept {
+  return lo + static_cast<int>(uniform_u64(
+                  rng, static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+/// Standard normal via the Marsaglia polar method (deterministic, no state
+/// carried between calls beyond the generator itself).
+inline double normal(Rng& rng) noexcept {
+  for (;;) {
+    const double u = 2.0 * uniform(rng) - 1.0;
+    const double v = 2.0 * uniform(rng) - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+/// Bernoulli trial with success probability p.
+inline bool bernoulli(Rng& rng, double p) noexcept { return uniform(rng) < p; }
+
+}  // namespace qq::util

@@ -1,0 +1,53 @@
+#pragma once
+// Small statistics helpers shared by the benchmark harnesses and tests.
+
+#include <cstddef>
+#include <vector>
+
+namespace qq::util {
+
+/// Welford's online mean/variance accumulator: numerically stable single
+/// pass, mergeable so parallel workers can each keep a local accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+/// Median via nth_element on a copy; average of middle pair for even sizes.
+double median(std::vector<double> xs);
+/// Linear-interpolated percentile, q in [0, 100].
+double percentile(std::vector<double> xs, double q);
+
+/// Pearson correlation of two equal-length series (0 if degenerate).
+double correlation(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to end bins.
+struct Histogram {
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x) noexcept;
+  double lo, hi;
+  std::vector<std::size_t> counts;
+  std::size_t total = 0;
+};
+
+}  // namespace qq::util

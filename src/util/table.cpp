@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace qq::util {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t line = 0;
+  for (auto w : widths) line += w + 2;
+  os << std::string(line, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+Grid::Grid(std::string title, std::vector<std::string> row_labels,
+           std::vector<std::string> col_labels, int precision)
+    : title_(std::move(title)),
+      row_labels_(std::move(row_labels)),
+      col_labels_(std::move(col_labels)),
+      values_(row_labels_.size() * col_labels_.size(), 0.0),
+      precision_(precision) {}
+
+void Grid::set(std::size_t row, std::size_t col, double value) {
+  if (row >= rows() || col >= cols()) {
+    throw std::out_of_range("Grid::set index");
+  }
+  values_[row * cols() + col] = value;
+}
+
+double Grid::at(std::size_t row, std::size_t col) const {
+  if (row >= rows() || col >= cols()) {
+    throw std::out_of_range("Grid::at index");
+  }
+  return values_[row * cols() + col];
+}
+
+std::string Grid::str() const {
+  std::ostringstream os;
+  os << title_ << '\n';
+  std::size_t label_w = 0;
+  for (const auto& r : row_labels_) label_w = std::max(label_w, r.size());
+  std::size_t cell_w = static_cast<std::size_t>(precision_) + 4;
+  for (const auto& c : col_labels_) cell_w = std::max(cell_w, c.size() + 1);
+
+  os << std::string(label_w + 2, ' ');
+  for (const auto& c : col_labels_) {
+    os << std::right << std::setw(static_cast<int>(cell_w)) << c;
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < rows(); ++r) {
+    os << std::left << std::setw(static_cast<int>(label_w) + 2)
+       << row_labels_[r];
+    for (std::size_t c = 0; c < cols(); ++c) {
+      os << std::right << std::setw(static_cast<int>(cell_w))
+         << format_double(at(r, c), precision_);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qq::util

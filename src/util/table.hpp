@@ -1,0 +1,45 @@
+#pragma once
+// ASCII table / heatmap rendering used by the reproduction harnesses to
+// print the paper's figures as text grids.
+
+#include <string>
+#include <vector>
+
+namespace qq::util {
+
+/// Column-aligned table. Cells are free-form strings; the first row added
+/// with `header` renders with a separator line beneath it.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void add_row(std::vector<std::string> cells);
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Numeric grid with row/column labels — the textual form of the paper's
+/// Fig. 3 heatmaps. Values render with fixed precision.
+class Grid {
+ public:
+  Grid(std::string title, std::vector<std::string> row_labels,
+       std::vector<std::string> col_labels, int precision = 3);
+  void set(std::size_t row, std::size_t col, double value);
+  double at(std::size_t row, std::size_t col) const;
+  std::size_t rows() const { return row_labels_.size(); }
+  std::size_t cols() const { return col_labels_.size(); }
+  std::string str() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> row_labels_;
+  std::vector<std::string> col_labels_;
+  std::vector<double> values_;
+  int precision_;
+};
+
+std::string format_double(double v, int precision);
+
+}  // namespace qq::util

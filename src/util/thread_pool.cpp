@@ -1,0 +1,107 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace qq::util {
+
+namespace {
+thread_local const ThreadPool* tls_owner = nullptr;
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("QQ_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = resolve_thread_count(threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+bool ThreadPool::inside_worker() const noexcept { return tls_owner == this; }
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop(std::size_t /*index*/) {
+  tls_owner = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  parallel_for_chunks(
+      pool, begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      std::max<std::size_t>(grain, 1));
+}
+
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  grain = std::max<std::size_t>(grain, 1);
+
+  // Nested parallel regions (e.g. a gate kernel invoked from a sub-graph
+  // task already running on the pool) execute serially: the outer level owns
+  // the cores.
+  if (pool.inside_worker() || pool.size() <= 1 || total <= grain) {
+    body(begin, end);
+    return;
+  }
+
+  const std::size_t max_chunks = pool.size() * 4;
+  const std::size_t nchunks =
+      std::min(max_chunks, (total + grain - 1) / grain);
+  const std::size_t chunk = (total + nchunks - 1) / nchunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(nchunks);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    futures.push_back(pool.submit([&body, lo, hi] { body(lo, hi); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace qq::util

@@ -1,0 +1,100 @@
+#pragma once
+// Fixed-size thread pool with a shared task queue plus a blocking
+// parallel-for built on top of it.
+//
+// This is the shared-memory analogue of the paper's MPI worker ranks: the
+// state-vector gate kernels, the grid-search sweeps, and the QAOA^2
+// sub-graph fan-out all execute through one process-wide pool so that the
+// machine is never over-subscribed, mirroring how a SLURM allocation pins a
+// fixed set of cores.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace qq::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects the value of the QQ_THREADS environment variable,
+  /// falling back to std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Schedule a callable; returns a future for its result.
+  template <typename F, typename... Args>
+  auto submit(F&& f, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f),
+         ... as = std::forward<Args>(args)]() mutable -> R {
+          return std::invoke(std::move(fn), std::move(as)...);
+        });
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// True when called from one of this pool's worker threads. Used to make
+  /// nested parallel regions degrade gracefully to serial execution instead
+  /// of deadlocking.
+  bool inside_worker() const noexcept;
+
+  /// Process-wide pool (lazily constructed, sized by QQ_THREADS).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Evenly split [begin, end) across the pool and run body(i) for each index.
+/// Blocks until every index has been processed. Safe to call from inside a
+/// worker (runs serially in that case). `grain` caps the number of chunks:
+/// chunks are at least `grain` indices long.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// Chunked variant: body receives [chunk_begin, chunk_end) and may vectorize
+/// over it. This is what the state-vector kernels use.
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t grain = 1024);
+
+/// Convenience wrappers over the global pool.
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body,
+                         std::size_t grain = 1) {
+  parallel_for(ThreadPool::global(), begin, end, body, grain);
+}
+inline void parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain = 1024) {
+  parallel_for_chunks(ThreadPool::global(), begin, end, body, grain);
+}
+
+}  // namespace qq::util

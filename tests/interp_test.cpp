@@ -1,0 +1,133 @@
+// Tests for the INTERP layer-wise warm-start strategy and the explicit
+// initial-parameter override.
+
+#include <gtest/gtest.h>
+
+#include "maxcut/exact.hpp"
+#include "qaoa/interp.hpp"
+#include "qaoa/qaoa.hpp"
+#include "qgraph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace qq::qaoa {
+namespace {
+
+TEST(InterpSchedule, SinglePointExtendsFlat) {
+  const auto out = interp_schedule({0.7});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 0.7);
+  EXPECT_DOUBLE_EQ(out[1], 0.7);
+}
+
+TEST(InterpSchedule, TwoPointRuleMatchesHandComputation) {
+  const auto out = interp_schedule({0.2, 0.8});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 0.2);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);  // midpoint
+  EXPECT_DOUBLE_EQ(out[2], 0.8);
+}
+
+TEST(InterpSchedule, PreservesMonotoneRamps) {
+  const std::vector<double> ramp = {0.1, 0.3, 0.5, 0.7};
+  const auto out = interp_schedule(ramp);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i], out[i - 1] - 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(out.front(), ramp.front());
+  EXPECT_DOUBLE_EQ(out.back(), ramp.back());
+}
+
+TEST(InterpSchedule, EmptyThrows) {
+  EXPECT_THROW(interp_schedule({}), std::invalid_argument);
+}
+
+TEST(Interp, RunsAllStagesAndStaysBounded) {
+  util::Rng rng(1);
+  const auto g = graph::erdos_renyi(10, 0.35, rng);
+  const QaoaSolver solver(g);
+  QaoaOptions opts;
+  opts.layers = 4;
+  opts.max_iterations = 60;
+  opts.seed = 2;
+  const InterpResult r = optimize_interp(solver, opts);
+  EXPECT_EQ(r.stage_expectations.size(), 4u);
+  EXPECT_EQ(r.final.layers, 4);
+  EXPECT_LE(r.final.expectation, solver.exact_optimum() + 1e-9);
+  EXPECT_GT(r.total_evaluations, r.final.evaluations);
+}
+
+TEST(Interp, FinalDepthNotWorseThanFirstStage) {
+  util::Rng rng(3);
+  const auto g = graph::erdos_renyi(10, 0.3, rng);
+  const QaoaSolver solver(g);
+  QaoaOptions opts;
+  opts.layers = 3;
+  opts.max_iterations = 80;
+  opts.seed = 5;
+  const InterpResult r = optimize_interp(solver, opts);
+  EXPECT_GE(r.final.expectation,
+            r.stage_expectations.front() - 0.05 * r.stage_expectations.front());
+}
+
+TEST(Interp, BeatsColdRandomInitOnAverage) {
+  // The point of the warm start: same total budget, better (or equal)
+  // expectation than a cold random start at the target depth, averaged
+  // over instances.
+  util::Rng rng(7);
+  double interp_total = 0.0, cold_total = 0.0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto g = graph::erdos_renyi(9, 0.4, rng);
+    if (g.num_edges() == 0) continue;
+    const QaoaSolver solver(g);
+    QaoaOptions opts;
+    opts.layers = 3;
+    opts.max_iterations = 40;
+    opts.init = InitKind::kRandom;
+    opts.seed = static_cast<std::uint64_t>(trial);
+    const InterpResult warm = optimize_interp(solver, opts);
+    QaoaOptions cold = opts;
+    cold.max_iterations = warm.total_evaluations;  // equal total budget
+    const QaoaResult cold_result = solver.optimize(cold);
+    interp_total += warm.final.expectation;
+    cold_total += cold_result.expectation;
+  }
+  EXPECT_GE(interp_total, 0.97 * cold_total);
+}
+
+TEST(Interp, LayersValidation) {
+  util::Rng rng(9);
+  const auto g = graph::erdos_renyi(8, 0.4, rng);
+  const QaoaSolver solver(g);
+  QaoaOptions opts;
+  opts.layers = 0;
+  EXPECT_THROW(optimize_interp(solver, opts), std::invalid_argument);
+}
+
+TEST(InitialParameters, OverrideIsUsedExactly) {
+  util::Rng rng(11);
+  const auto g = graph::erdos_renyi(8, 0.4, rng);
+  const QaoaSolver solver(g);
+  QaoaOptions opts;
+  opts.layers = 2;
+  opts.max_iterations = 5;  // initial simplex only: stays near the override
+  opts.initial_parameters = {0.3, 0.5, 0.4, 0.2};
+  const QaoaResult r = solver.optimize(opts);
+  // With a 5-evaluation budget, the incumbent is one of the simplex points
+  // around the override.
+  for (std::size_t i = 0; i < r.parameters.size(); ++i) {
+    EXPECT_NEAR(r.parameters[i], opts.initial_parameters[i], 0.51);
+  }
+}
+
+TEST(InitialParameters, WrongSizeThrows) {
+  util::Rng rng(13);
+  const auto g = graph::erdos_renyi(8, 0.4, rng);
+  QaoaOptions opts;
+  opts.layers = 3;
+  opts.initial_parameters = {0.1, 0.2};  // needs 6
+  EXPECT_THROW(solve_qaoa(g, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qq::qaoa

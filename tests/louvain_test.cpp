@@ -1,0 +1,253 @@
+// Tests for Louvain community detection, the pluggable partition methods,
+// and the additional graph families (Watts-Strogatz, Barabási-Albert).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "qgraph/generators.hpp"
+#include "qgraph/louvain.hpp"
+#include "qgraph/modularity.hpp"
+#include "qgraph/partition.hpp"
+#include "util/rng.hpp"
+
+namespace qq::graph {
+namespace {
+
+// -------------------------------------------------------------- Louvain ----
+
+TEST(Louvain, RecoversTwoTriangles) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(3, 5);
+  g.add_edge(2, 3);
+  const auto comms = louvain_communities(g);
+  ASSERT_EQ(comms.size(), 2u);
+  EXPECT_EQ(comms[0], (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(comms[1], (std::vector<NodeId>{3, 4, 5}));
+}
+
+TEST(Louvain, RecoversPlantedBlocks) {
+  util::Rng rng(3);
+  const NodeId block = 8;
+  const Graph g = planted_partition(4, block, 0.9, 0.02, rng);
+  const auto comms = louvain_communities(g);
+  ASSERT_EQ(comms.size(), 4u);
+  for (const auto& c : comms) {
+    ASSERT_EQ(c.size(), static_cast<std::size_t>(block));
+    for (const NodeId u : c) EXPECT_EQ(u / block, c.front() / block);
+  }
+}
+
+TEST(Louvain, ModularityComparableToCnm) {
+  util::Rng rng(5);
+  const Graph g = erdos_renyi(80, 0.08, rng);
+  auto to_assignment = [&g](const std::vector<std::vector<NodeId>>& comms) {
+    std::vector<int> assign(static_cast<std::size_t>(g.num_nodes()), 0);
+    for (std::size_t c = 0; c < comms.size(); ++c) {
+      for (const NodeId u : comms[c]) {
+        assign[static_cast<std::size_t>(u)] = static_cast<int>(c);
+      }
+    }
+    return assign;
+  };
+  const double q_louvain = modularity(g, to_assignment(louvain_communities(g)));
+  const double q_cnm =
+      modularity(g, to_assignment(greedy_modularity_communities(g)));
+  EXPECT_GT(q_louvain, 0.0);
+  // Louvain is usually at least as good as CNM; allow a modest margin.
+  EXPECT_GE(q_louvain, 0.85 * q_cnm);
+}
+
+TEST(Louvain, EdgelessAndTrivialGraphs) {
+  EXPECT_EQ(louvain_communities(Graph(4)).size(), 4u);
+  EXPECT_EQ(louvain_communities(Graph(0)).size(), 0u);
+  EXPECT_EQ(louvain_communities(Graph(1)).size(), 1u);
+}
+
+TEST(Louvain, DeterministicPerSeed) {
+  util::Rng rng(7);
+  const Graph g = erdos_renyi(50, 0.1, rng);
+  LouvainOptions opts;
+  opts.seed = 11;
+  EXPECT_EQ(louvain_communities(g, opts), louvain_communities(g, opts));
+}
+
+TEST(Louvain, CoversAllNodesExactlyOnce) {
+  util::Rng rng(9);
+  const Graph g = erdos_renyi(64, 0.12, rng);
+  std::set<NodeId> seen;
+  for (const auto& c : louvain_communities(g)) {
+    for (const NodeId u : c) EXPECT_TRUE(seen.insert(u).second);
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+// ---------------------------------------------------- partition methods ----
+
+class PartitionMethodInvariants
+    : public ::testing::TestWithParam<std::tuple<PartitionMethod, int>> {};
+
+TEST_P(PartitionMethodInvariants, CoverDisjointAndCapped) {
+  const auto [method, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  Graph g(0);
+  switch (seed % 3) {
+    case 0: g = erdos_renyi(48, 0.12, rng); break;
+    case 1: g = planted_partition(4, 10, 0.8, 0.05, rng); break;
+    default: g = complete_graph(25); break;
+  }
+  PartitionOptions opts;
+  opts.max_nodes = 7;
+  opts.method = method;
+  opts.seed = static_cast<std::uint64_t>(seed);
+  const auto parts = partition_max_size(g, opts);
+  std::set<NodeId> seen;
+  for (const auto& part : parts) {
+    EXPECT_FALSE(part.empty());
+    EXPECT_LE(part.size(), 7u);
+    for (const NodeId u : part) EXPECT_TRUE(seen.insert(u).second);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(g.num_nodes()));
+  // Progress guarantee used by the QAOA^2 recursion.
+  if (g.num_nodes() > opts.max_nodes) {
+    EXPECT_LT(parts.size(), static_cast<std::size_t>(g.num_nodes()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndSeeds, PartitionMethodInvariants,
+    ::testing::Combine(::testing::Values(PartitionMethod::kGreedyModularity,
+                                         PartitionMethod::kLouvain,
+                                         PartitionMethod::kSpectral,
+                                         PartitionMethod::kBalancedBfs,
+                                         PartitionMethod::kRandomChunks),
+                       ::testing::Range(0, 6)));
+
+TEST(Spectral, SeparatesBarbellCliques) {
+  // Two K8 joined by a path: the Fiedler vector splits at the bridge.
+  const Graph g = barbell_graph(8, 0);  // 16 nodes, one bridge edge
+  PartitionOptions opts;
+  opts.max_nodes = 8;
+  opts.method = PartitionMethod::kSpectral;
+  const auto parts = partition_max_size(g, opts);
+  ASSERT_EQ(parts.size(), 2u);
+  // Each half must be one clique (nodes 0-7 vs 8-15).
+  for (const auto& part : parts) {
+    ASSERT_EQ(part.size(), 8u);
+    for (const NodeId u : part) {
+      EXPECT_EQ(u / 8, part.front() / 8);
+    }
+  }
+}
+
+TEST(Spectral, BisectionIsBalanced) {
+  util::Rng rng(31);
+  const Graph g = erdos_renyi(40, 0.15, rng);
+  PartitionOptions opts;
+  opts.max_nodes = 20;
+  opts.method = PartitionMethod::kSpectral;
+  const auto parts = partition_max_size(g, opts);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].size(), 20u);
+  EXPECT_EQ(parts[1].size(), 20u);
+}
+
+TEST(PartitionMethods, NamesAreStable) {
+  EXPECT_STREQ(partition_method_name(PartitionMethod::kGreedyModularity),
+               "greedy-modularity");
+  EXPECT_STREQ(partition_method_name(PartitionMethod::kLouvain), "louvain");
+  EXPECT_STREQ(partition_method_name(PartitionMethod::kSpectral), "spectral");
+  EXPECT_STREQ(partition_method_name(PartitionMethod::kBalancedBfs),
+               "balanced-bfs");
+  EXPECT_STREQ(partition_method_name(PartitionMethod::kRandomChunks),
+               "random-chunks");
+}
+
+TEST(PartitionMethods, CommunityMethodsMostlyRespectPlantedBlocks) {
+  util::Rng rng(13);
+  const Graph g = planted_partition(4, 6, 0.95, 0.005, rng);
+  for (const auto method :
+       {PartitionMethod::kGreedyModularity, PartitionMethod::kLouvain}) {
+    PartitionOptions opts;
+    opts.max_nodes = 6;
+    opts.method = method;
+    const auto parts = partition_max_size(g, opts);
+    // Community detection may split a block, and a stray cross edge can
+    // legitimately pull a single node across; bulk mixing would be a bug.
+    EXPECT_GE(parts.size(), 4u) << partition_method_name(method);
+    int misplaced = 0;
+    for (const auto& part : parts) {
+      // Majority block of this part.
+      std::array<int, 4> counts{};
+      for (const NodeId u : part) ++counts[static_cast<std::size_t>(u / 6)];
+      const int majority =
+          *std::max_element(counts.begin(), counts.end());
+      misplaced += static_cast<int>(part.size()) - majority;
+    }
+    EXPECT_LE(misplaced, 1) << partition_method_name(method);
+  }
+}
+
+// --------------------------------------------------- new graph families ----
+
+TEST(WattsStrogatz, LatticeLimitAndEdgeCount) {
+  util::Rng rng(15);
+  // beta = 0: pure ring lattice with n*k/2 edges, all degrees k.
+  const Graph lattice = watts_strogatz(20, 4, 0.0, rng);
+  EXPECT_EQ(lattice.num_edges(), 40u);
+  for (NodeId u = 0; u < 20; ++u) EXPECT_EQ(lattice.degree(u), 4);
+}
+
+TEST(WattsStrogatz, RewiringPreservesEdgeCount) {
+  util::Rng rng(17);
+  const Graph g = watts_strogatz(30, 4, 0.3, rng);
+  EXPECT_EQ(g.num_edges(), 60u);
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(e.u, e.v);
+  }
+}
+
+TEST(WattsStrogatz, Validation) {
+  util::Rng rng(19);
+  EXPECT_THROW(watts_strogatz(10, 3, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(4, 4, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(10, 4, 1.5, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, SizeAndAttachmentCounts) {
+  util::Rng rng(21);
+  const NodeId n = 60;
+  const NodeId m = 3;
+  const Graph g = barabasi_albert(n, m, rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  // Seed star has m edges; every later node adds exactly m.
+  EXPECT_EQ(g.num_edges(), static_cast<std::size_t>(m + (n - m - 1) * m));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(BarabasiAlbert, HubsEmerge) {
+  util::Rng rng(23);
+  const Graph g = barabasi_albert(200, 2, rng);
+  NodeId max_degree = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_degree = std::max(max_degree, g.degree(u));
+  }
+  // Preferential attachment produces hubs well above the mean degree (~4).
+  EXPECT_GE(max_degree, 12);
+}
+
+TEST(BarabasiAlbert, Validation) {
+  util::Rng rng(25);
+  EXPECT_THROW(barabasi_albert(5, 0, rng), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(5, 5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qq::graph

@@ -1,0 +1,266 @@
+// Tests for the ML layer: graph features, the logistic-regression method
+// selector, and the kNN parameter warm start.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <sstream>
+
+#include "ml/features.hpp"
+#include "ml/knn.hpp"
+#include "ml/knowledge_base.hpp"
+#include "ml/logreg.hpp"
+#include "qgraph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace qq::ml {
+namespace {
+
+// --------------------------------------------------------------- features ----
+
+TEST(Features, CompleteGraphValues) {
+  const auto f = graph_features(graph::complete_graph(5));
+  EXPECT_DOUBLE_EQ(f[0], 5.0);   // nodes
+  EXPECT_DOUBLE_EQ(f[1], 10.0);  // edges
+  EXPECT_DOUBLE_EQ(f[2], 1.0);   // density
+  EXPECT_DOUBLE_EQ(f[3], 4.0);   // mean degree
+  EXPECT_DOUBLE_EQ(f[4], 0.0);   // degree std
+  EXPECT_DOUBLE_EQ(f[5], 4.0);   // max degree
+  EXPECT_DOUBLE_EQ(f[8], 1.0);   // clustering of a clique
+  EXPECT_DOUBLE_EQ(f[9], 0.0);   // unweighted
+}
+
+TEST(Features, StarGraphHasZeroClustering) {
+  const auto f = graph_features(graph::star_graph(8));
+  EXPECT_DOUBLE_EQ(f[8], 0.0);
+  EXPECT_DOUBLE_EQ(f[5], 7.0);  // hub degree
+}
+
+TEST(Features, TriangleClusteringIsOne) {
+  const auto f = graph_features(graph::cycle_graph(3));
+  EXPECT_DOUBLE_EQ(f[8], 1.0);
+}
+
+TEST(Features, WeightStatistics) {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 4.0);
+  const auto f = graph_features(g);
+  EXPECT_DOUBLE_EQ(f[6], 3.0);              // mean weight
+  EXPECT_NEAR(f[7], std::sqrt(2.0), 1e-12); // sample std
+  EXPECT_DOUBLE_EQ(f[9], 1.0);              // weighted
+}
+
+TEST(Features, DensityTracksEdgeProbability) {
+  util::Rng rng(3);
+  const auto g = graph::erdos_renyi(100, 0.25, rng);
+  const auto f = graph_features(g);
+  EXPECT_NEAR(f[2], 0.25, 0.05);
+}
+
+TEST(Features, NamesAreStable) {
+  EXPECT_STREQ(feature_name(0), "nodes");
+  EXPECT_STREQ(feature_name(8), "clustering");
+  EXPECT_STREQ(feature_name(9), "weighted");
+}
+
+// ----------------------------------------------------------------- logreg ----
+
+TEST(LogReg, LearnsLinearlySeparableData) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> X;
+  std::vector<int> y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = util::normal(rng);
+    const double b = util::normal(rng);
+    X.push_back({a, b});
+    y.push_back(a + b > 0.0 ? 1 : 0);
+  }
+  LogisticRegression model;
+  model.fit(X, y);
+  EXPECT_GE(model.accuracy(X, y), 0.97);
+}
+
+TEST(LogReg, RobustToNoisyLabels) {
+  util::Rng rng(7);
+  std::vector<std::vector<double>> X;
+  std::vector<int> y;
+  for (int i = 0; i < 600; ++i) {
+    const double a = util::normal(rng);
+    X.push_back({a, util::normal(rng)});
+    const int label = a > 0.0 ? 1 : 0;
+    y.push_back(util::bernoulli(rng, 0.1) ? 1 - label : label);
+  }
+  LogisticRegression model;
+  model.fit(X, y);
+  EXPECT_GE(model.accuracy(X, y), 0.80);
+}
+
+TEST(LogReg, ProbabilitiesAreCalibratedAtExtremes) {
+  std::vector<std::vector<double>> X;
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) {
+    const double v = (i < 50) ? -1.0 - 0.01 * i : 1.0 + 0.01 * i;
+    X.push_back({v});
+    y.push_back(v > 0 ? 1 : 0);
+  }
+  LogisticRegression model;
+  model.fit(X, y);
+  EXPECT_GT(model.predict_proba({5.0}), 0.9);
+  EXPECT_LT(model.predict_proba({-5.0}), 0.1);
+}
+
+TEST(LogReg, HandlesConstantFeatureWithoutNan) {
+  std::vector<std::vector<double>> X;
+  std::vector<int> y;
+  for (int i = 0; i < 50; ++i) {
+    X.push_back({1.0, static_cast<double>(i % 2)});
+    y.push_back(i % 2);
+  }
+  LogisticRegression model;
+  model.fit(X, y);
+  const double p = model.predict_proba({1.0, 1.0});
+  EXPECT_TRUE(std::isfinite(p));
+  EXPECT_GE(model.accuracy(X, y), 0.95);
+}
+
+TEST(LogReg, Validation) {
+  LogisticRegression model;
+  EXPECT_THROW(model.predict_proba({1.0}), std::logic_error);
+  EXPECT_THROW(model.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(model.fit({{1.0}}, {1, 0}), std::invalid_argument);
+  EXPECT_THROW(model.fit({{1.0}, {1.0, 2.0}}, {0, 1}), std::invalid_argument);
+  model.fit({{0.0}, {1.0}}, {0, 1});
+  EXPECT_THROW(model.predict_proba({1.0, 2.0}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- kNN ----
+
+TEST(Knn, RecallsStoredPointExactly) {
+  ParameterKnn store;
+  store.add({0.0, 0.0}, {1.0, 2.0});
+  store.add({10.0, 10.0}, {3.0, 4.0});
+  const auto p = store.predict({0.0, 0.0}, 1);
+  EXPECT_NEAR(p[0], 1.0, 1e-6);
+  EXPECT_NEAR(p[1], 2.0, 1e-6);
+}
+
+TEST(Knn, InterpolatesBetweenNeighbours) {
+  ParameterKnn store;
+  store.add({0.0}, {0.0});
+  store.add({1.0}, {10.0});
+  const auto p = store.predict({0.5}, 2);
+  EXPECT_NEAR(p[0], 5.0, 0.5);
+}
+
+TEST(Knn, KLargerThanStoreIsClamped) {
+  ParameterKnn store;
+  store.add({0.0}, {1.0});
+  store.add({1.0}, {2.0});
+  EXPECT_NO_THROW(store.predict({0.5}, 50));
+}
+
+TEST(Knn, Validation) {
+  ParameterKnn store;
+  EXPECT_THROW(store.predict({1.0}, 1), std::logic_error);
+  store.add({1.0, 2.0}, {0.5});
+  EXPECT_THROW(store.add({1.0}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(store.add({1.0, 2.0}, {0.5, 0.6}), std::invalid_argument);
+  EXPECT_THROW(store.predict({1.0}, 1), std::invalid_argument);
+  EXPECT_THROW(store.predict({1.0, 2.0}, 0), std::invalid_argument);
+}
+
+TEST(Knn, NearestDominatesWeighting) {
+  ParameterKnn store;
+  store.add({0.0}, {100.0});
+  store.add({5.0}, {0.0});
+  const auto p = store.predict({0.1}, 2);
+  EXPECT_GT(p[0], 90.0);
+}
+
+// --------------------------------------------------------- knowledge base ----
+
+KbRecord make_record(double scale, int layers, bool qaoa_wins) {
+  KbRecord r;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    r.features[i] = scale * static_cast<double>(i + 1);
+  }
+  r.layers = layers;
+  r.rhobeg = 0.3;
+  r.qaoa_value = qaoa_wins ? 10.0 : 5.0;
+  r.gw_value = 7.0;
+  r.parameters.assign(static_cast<std::size_t>(2 * layers), scale);
+  return r;
+}
+
+TEST(KnowledgeBase, AddValidatesParameterCount) {
+  KnowledgeBase kb;
+  KbRecord bad = make_record(1.0, 3, true);
+  bad.parameters.pop_back();
+  EXPECT_THROW(kb.add(bad), std::invalid_argument);
+  kb.add(make_record(1.0, 3, true));
+  EXPECT_EQ(kb.size(), 1u);
+}
+
+TEST(KnowledgeBase, CsvRoundTrip) {
+  KnowledgeBase kb;
+  kb.add(make_record(1.0, 2, true));
+  kb.add(make_record(2.5, 3, false));
+  std::stringstream ss;
+  kb.save(ss);
+  const KnowledgeBase back = KnowledgeBase::load(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.records()[0].layers, 2);
+  EXPECT_EQ(back.records()[1].layers, 3);
+  EXPECT_DOUBLE_EQ(back.records()[1].features[0], 2.5);
+  EXPECT_DOUBLE_EQ(back.records()[0].qaoa_value, 10.0);
+  EXPECT_EQ(back.records()[1].parameters.size(), 6u);
+  EXPECT_TRUE(back.records()[0].qaoa_won());
+  EXPECT_FALSE(back.records()[1].qaoa_won());
+}
+
+TEST(KnowledgeBase, LoadRejectsCorruptRecords) {
+  std::stringstream short_row("1,2,3\n");
+  EXPECT_THROW(KnowledgeBase::load(short_row), std::runtime_error);
+  // 10 features + layers=2 + rhobeg + values, but only 3 parameters.
+  std::stringstream bad_params(
+      "1,2,3,4,5,6,7,8,9,10,2,0.3,9.0,7.0,0.1,0.2,0.3\n");
+  EXPECT_THROW(KnowledgeBase::load(bad_params), std::runtime_error);
+}
+
+TEST(KnowledgeBase, DatasetAndKnnAdapters) {
+  KnowledgeBase kb;
+  kb.add(make_record(1.0, 2, true));
+  kb.add(make_record(2.0, 2, false));
+  kb.add(make_record(3.0, 4, true));
+  std::vector<std::vector<double>> X;
+  std::vector<int> y;
+  kb.to_dataset(X, y);
+  ASSERT_EQ(X.size(), 3u);
+  EXPECT_EQ(y, (std::vector<int>{1, 0, 1}));
+
+  const ParameterKnn knn2 = kb.to_parameter_knn(2);
+  EXPECT_EQ(knn2.size(), 2u);
+  const ParameterKnn knn4 = kb.to_parameter_knn(4);
+  EXPECT_EQ(knn4.size(), 1u);
+  // Nearest record to scale 1.0 features carries parameters all = 1.0.
+  const KbRecord probe = make_record(1.0, 2, true);
+  const auto params = knn2.predict(
+      std::vector<double>(probe.features.begin(), probe.features.end()), 1);
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_NEAR(params[0], 1.0, 1e-6);
+}
+
+TEST(KnowledgeBase, SkipsCommentsAndBlankLines) {
+  KnowledgeBase kb;
+  kb.add(make_record(1.0, 1, true));
+  std::stringstream ss;
+  kb.save(ss);
+  std::string with_noise = "# header comment\n\n" + ss.str() + "\n";
+  std::stringstream in(with_noise);
+  EXPECT_EQ(KnowledgeBase::load(in).size(), 1u);
+}
+
+}  // namespace
+}  // namespace qq::ml

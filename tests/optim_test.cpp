@@ -1,0 +1,204 @@
+// Tests for the derivative-free optimizers (COBYLA-style trust region and
+// Nelder-Mead) on standard objectives.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optim/cobyla.hpp"
+#include "optim/nelder_mead.hpp"
+
+namespace qq::optim {
+namespace {
+
+double sphere(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s;
+}
+
+double shifted_quadratic(const std::vector<double>& x) {
+  // Minimum 1.5 at (1, -2), with a cross term.
+  const double a = x[0] - 1.0;
+  const double b = x[1] + 2.0;
+  return 2.0 * a * a + b * b + 0.5 * a * b + 1.5;
+}
+
+double rosenbrock2(const std::vector<double>& x) {
+  const double a = 1.0 - x[0];
+  const double b = x[1] - x[0] * x[0];
+  return a * a + 100.0 * b * b;
+}
+
+// --------------------------------------------------------------- COBYLA ----
+
+TEST(Cobyla, MinimizesSphereFromSeveralStarts) {
+  for (const double start : {-2.0, -0.5, 0.7, 3.0}) {
+    CobylaOptions opts;
+    opts.rhobeg = 0.5;
+    opts.rhoend = 1e-6;
+    opts.maxfun = 400;
+    const Result r = cobyla_minimize(sphere, {start, -start, start}, opts);
+    EXPECT_LT(r.fx, 1e-4) << "start " << start;
+  }
+}
+
+TEST(Cobyla, MinimizesShiftedQuadratic) {
+  CobylaOptions opts;
+  opts.rhobeg = 0.5;
+  opts.rhoend = 1e-7;
+  opts.maxfun = 600;
+  const Result r = cobyla_minimize(shifted_quadratic, {0.0, 0.0}, opts);
+  EXPECT_NEAR(r.fx, 1.5, 1e-3);
+  EXPECT_NEAR(r.x[0], 1.0, 0.05);
+  EXPECT_NEAR(r.x[1], -2.0, 0.05);
+}
+
+TEST(Cobyla, MakesProgressOnRosenbrock) {
+  CobylaOptions opts;
+  opts.rhobeg = 0.5;
+  opts.rhoend = 1e-8;
+  opts.maxfun = 2000;
+  const Result r = cobyla_minimize(rosenbrock2, {-1.2, 1.0}, opts);
+  EXPECT_LT(r.fx, rosenbrock2({-1.2, 1.0}) * 0.01);
+}
+
+TEST(Cobyla, RespectsEvaluationBudget) {
+  int calls = 0;
+  const Objective counted = [&calls](const std::vector<double>& x) {
+    ++calls;
+    return sphere(x);
+  };
+  CobylaOptions opts;
+  opts.maxfun = 25;
+  const Result r = cobyla_minimize(counted, {1.0, 1.0, 1.0, 1.0}, opts);
+  EXPECT_LE(calls, 25);
+  EXPECT_EQ(r.evaluations, calls);
+}
+
+TEST(Cobyla, ReportsBestEverPoint) {
+  // The returned fx must equal the objective at the returned x, and be the
+  // minimum of all evaluations.
+  double min_seen = 1e300;
+  const Objective tracking = [&min_seen](const std::vector<double>& x) {
+    const double v = shifted_quadratic(x);
+    min_seen = std::min(min_seen, v);
+    return v;
+  };
+  const Result r = cobyla_minimize(tracking, {3.0, 3.0});
+  EXPECT_DOUBLE_EQ(r.fx, min_seen);
+  EXPECT_NEAR(shifted_quadratic(r.x), r.fx, 1e-12);
+}
+
+TEST(Cobyla, ConvergedFlagWhenRhoExhausted) {
+  CobylaOptions opts;
+  opts.rhobeg = 0.5;
+  opts.rhoend = 1e-2;  // coarse: converges quickly
+  opts.maxfun = 10000;
+  const Result r = cobyla_minimize(sphere, {0.2, 0.2}, opts);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Cobyla, LargerRhobegEscapesFartherStarts) {
+  // From a distant start with a small budget, a larger initial step makes
+  // strictly more progress on the sphere — the behaviour the paper's
+  // rhobeg sweep (Fig. 3c) probes.
+  CobylaOptions small;
+  small.rhobeg = 0.01;
+  small.maxfun = 30;
+  CobylaOptions large = small;
+  large.rhobeg = 0.5;
+  const std::vector<double> x0 = {5.0, -5.0};
+  const Result rs = cobyla_minimize(sphere, x0, small);
+  const Result rl = cobyla_minimize(sphere, x0, large);
+  EXPECT_LT(rl.fx, rs.fx);
+}
+
+TEST(Cobyla, InputValidation) {
+  EXPECT_THROW(cobyla_minimize(sphere, {}), std::invalid_argument);
+  CobylaOptions bad;
+  bad.rhobeg = -1.0;
+  EXPECT_THROW(cobyla_minimize(sphere, {1.0}, bad), std::invalid_argument);
+  bad = CobylaOptions{};
+  bad.rhoend = 2.0 * bad.rhobeg;
+  EXPECT_THROW(cobyla_minimize(sphere, {1.0}, bad), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- Nelder-Mead ----
+
+TEST(NelderMead, MinimizesSphere) {
+  NelderMeadOptions opts;
+  opts.maxfun = 500;
+  const Result r = nelder_mead_minimize(sphere, {2.0, -1.0, 0.5}, opts);
+  EXPECT_LT(r.fx, 1e-6);
+}
+
+TEST(NelderMead, MinimizesShiftedQuadratic) {
+  NelderMeadOptions opts;
+  opts.maxfun = 800;
+  const Result r = nelder_mead_minimize(shifted_quadratic, {0.0, 0.0}, opts);
+  EXPECT_NEAR(r.fx, 1.5, 1e-5);
+}
+
+TEST(NelderMead, SolvesRosenbrock) {
+  NelderMeadOptions opts;
+  opts.maxfun = 4000;
+  opts.ftol = 1e-12;
+  const Result r = nelder_mead_minimize(rosenbrock2, {-1.2, 1.0}, opts);
+  EXPECT_LT(r.fx, 1e-4);
+}
+
+TEST(NelderMead, RespectsBudgetAndValidates) {
+  int calls = 0;
+  const Objective counted = [&calls](const std::vector<double>& x) {
+    ++calls;
+    return sphere(x);
+  };
+  NelderMeadOptions opts;
+  opts.maxfun = 17;
+  const Result r = nelder_mead_minimize(counted, {1.0, 1.0}, opts);
+  EXPECT_LE(calls, 17 + 3);  // shrink step may finish its sweep
+  EXPECT_GE(r.evaluations, 3);
+  EXPECT_THROW(nelder_mead_minimize(sphere, {}), std::invalid_argument);
+}
+
+TEST(NelderMead, ConvergedFlagOnFlatSpread) {
+  NelderMeadOptions opts;
+  opts.maxfun = 100000;
+  opts.ftol = 1e-10;
+  const Result r = nelder_mead_minimize(sphere, {0.3, -0.2}, opts);
+  EXPECT_TRUE(r.converged);
+}
+
+// Both optimizers on a family of scaled quadratics (parameterized sweep).
+class OptimizerFamily : public ::testing::TestWithParam<double> {};
+
+TEST_P(OptimizerFamily, BothFindScaledQuadraticMinimum) {
+  const double scale = GetParam();
+  const Objective f = [scale](const std::vector<double>& x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - scale * static_cast<double>(i + 1);
+      s += (static_cast<double>(i) + 1.0) * d * d;
+    }
+    return s;
+  };
+  CobylaOptions copts;
+  copts.rhobeg = std::max(0.1, scale);
+  copts.rhoend = 1e-7;
+  copts.maxfun = 1500;
+  const Result rc = cobyla_minimize(f, {0.0, 0.0, 0.0}, copts);
+  EXPECT_LT(rc.fx, 1e-3) << "cobyla, scale " << scale;
+
+  NelderMeadOptions nopts;
+  nopts.step = std::max(0.1, scale);
+  nopts.maxfun = 1500;
+  const Result rn = nelder_mead_minimize(f, {0.0, 0.0, 0.0}, nopts);
+  EXPECT_LT(rn.fx, 1e-3) << "nelder-mead, scale " << scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, OptimizerFamily,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace qq::optim

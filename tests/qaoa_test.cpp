@@ -1,0 +1,313 @@
+// Tests for the QAOA driver: cut-table correctness, fast-path vs
+// circuit-path agreement, optimization behaviour, solution extraction, the
+// paper's iteration schedule, and RQAOA.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "maxcut/exact.hpp"
+#include "qaoa/cost_table.hpp"
+#include "qaoa/qaoa.hpp"
+#include "qaoa/rqaoa.hpp"
+#include "qcircuit/ansatz.hpp"
+#include "qcircuit/execute.hpp"
+#include "qsim/measure.hpp"
+#include "qgraph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace qq::qaoa {
+namespace {
+
+using graph::Graph;
+
+// ------------------------------------------------------------ cut table ----
+
+TEST(CostTable, MatchesCutValueForEveryState) {
+  util::Rng rng(1);
+  const Graph g =
+      graph::erdos_renyi(10, 0.4, rng, graph::WeightMode::kUniform01);
+  const auto table = build_cut_table(g);
+  ASSERT_EQ(table.size(), std::size_t{1} << 10);
+  for (std::uint64_t bits = 0; bits < table.size(); ++bits) {
+    EXPECT_NEAR(table[bits],
+                maxcut::cut_value(g, maxcut::assignment_from_bits(bits, 10)),
+                1e-9);
+  }
+}
+
+TEST(CostTable, MaxEntryIsExactOptimum) {
+  util::Rng rng(2);
+  const Graph g = graph::erdos_renyi(12, 0.3, rng);
+  const QaoaSolver solver(g);
+  EXPECT_NEAR(solver.exact_optimum(), maxcut::solve_exact(g).value, 1e-9);
+}
+
+// ------------------------------------------- fast path == circuit path ----
+
+class FastPathEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastPathEquivalence, DiagonalSweepMatchesGateByGateAnsatz) {
+  const int seed = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) + 100);
+  const Graph g =
+      graph::erdos_renyi(7, 0.45, rng, graph::WeightMode::kUniform01);
+  circuit::QaoaAngles angles;
+  const int p = 1 + seed % 3;
+  for (int l = 0; l < p; ++l) {
+    angles.gammas.push_back(util::uniform(rng, -1.5, 1.5));
+    angles.betas.push_back(util::uniform(rng, -1.5, 1.5));
+  }
+  const QaoaSolver solver(g);
+  const sim::StateVector fast = solver.state(angles);
+  const sim::StateVector slow = circuit::run(circuit::qaoa_ansatz(g, angles));
+  // The gate decomposition drops a global phase; compare |<a|b>|.
+  std::complex<double> inner{0, 0};
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    inner += std::conj(fast.data()[i]) * slow.data()[i];
+  }
+  EXPECT_NEAR(std::abs(inner), 1.0, 1e-9);
+  // And the expectations agree exactly.
+  const auto table = solver.cut_table();
+  EXPECT_NEAR(sim::expectation_diagonal(fast, table),
+              sim::expectation_diagonal(slow, table), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastPathEquivalence, ::testing::Range(0, 8));
+
+// ------------------------------------------------------------ expectation ----
+
+TEST(Expectation, NeverExceedsExactOptimum) {
+  util::Rng rng(5);
+  const Graph g = graph::erdos_renyi(9, 0.4, rng);
+  const QaoaSolver solver(g);
+  for (int trial = 0; trial < 20; ++trial) {
+    circuit::QaoaAngles angles;
+    angles.gammas = {util::uniform(rng, -2.0, 2.0)};
+    angles.betas = {util::uniform(rng, -2.0, 2.0)};
+    EXPECT_LE(solver.expectation(angles), solver.exact_optimum() + 1e-9);
+    EXPECT_GE(solver.expectation(angles), 0.0);
+  }
+}
+
+TEST(Expectation, ZeroAnglesGiveHalfTotalWeight) {
+  // gamma = beta = 0 leaves |+>^n: every edge is cut with probability 1/2.
+  util::Rng rng(6);
+  const Graph g =
+      graph::erdos_renyi(8, 0.5, rng, graph::WeightMode::kUniform01);
+  const QaoaSolver solver(g);
+  circuit::QaoaAngles zero;
+  zero.gammas = {0.0};
+  zero.betas = {0.0};
+  EXPECT_NEAR(solver.expectation(zero), g.total_weight() / 2.0, 1e-9);
+}
+
+TEST(Expectation, SampledEstimateConvergesToExact) {
+  util::Rng rng(7);
+  const Graph g = graph::erdos_renyi(8, 0.4, rng);
+  const QaoaSolver solver(g);
+  circuit::QaoaAngles angles;
+  angles.gammas = {0.4};
+  angles.betas = {0.3};
+  const double exact = solver.expectation(angles);
+  util::Rng shot_rng(8);
+  const double sampled = solver.sampled_expectation(angles, 60000, shot_rng);
+  EXPECT_NEAR(sampled, exact, 0.1);
+  EXPECT_THROW(solver.sampled_expectation(angles, 0, shot_rng),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- optimization ----
+
+TEST(Optimize, ImprovesOverZeroAngleBaseline) {
+  util::Rng rng(9);
+  const Graph g = graph::erdos_renyi(10, 0.35, rng);
+  const QaoaSolver solver(g);
+  QaoaOptions opts;
+  opts.layers = 3;
+  opts.max_iterations = 120;
+  opts.seed = 1;
+  const QaoaResult r = solver.optimize(opts);
+  EXPECT_GT(r.expectation, g.total_weight() / 2.0)
+      << "optimized F_p should beat the random-guess baseline W/2";
+  EXPECT_LE(r.expectation, solver.exact_optimum() + 1e-9);
+}
+
+TEST(Optimize, SingleEdgeReachesOptimumWithGenerousBudget) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  QaoaOptions opts;
+  opts.layers = 2;
+  opts.max_iterations = 400;
+  opts.rhobeg = 0.5;
+  const QaoaResult r = solve_qaoa(g, opts);
+  EXPECT_GT(r.expectation, 0.95);
+  EXPECT_DOUBLE_EQ(r.cut.value, 1.0);
+}
+
+TEST(Optimize, ChosenBitstringAchievesReportedCut) {
+  util::Rng rng(11);
+  const Graph g =
+      graph::erdos_renyi(9, 0.35, rng, graph::WeightMode::kUniform01);
+  QaoaOptions opts;
+  opts.layers = 3;
+  opts.seed = 4;
+  const QaoaResult r = solve_qaoa(g, opts);
+  EXPECT_NEAR(maxcut::cut_value(g, r.cut.assignment), r.cut.value, 1e-9);
+}
+
+TEST(Optimize, TopKNeverWorseThanTopOne) {
+  util::Rng rng(13);
+  const Graph g = graph::erdos_renyi(10, 0.3, rng);
+  QaoaOptions base;
+  base.layers = 3;
+  base.seed = 7;
+  base.top_k = 1;
+  QaoaOptions topk = base;
+  topk.top_k = 16;
+  const QaoaSolver solver(g);
+  const double v1 = solver.optimize(base).cut.value;
+  const double vk = solver.optimize(topk).cut.value;
+  EXPECT_GE(vk, v1 - 1e-12) << "top-k scan (paper section 5) cannot hurt";
+}
+
+TEST(Optimize, DeterministicPerSeed) {
+  util::Rng rng(15);
+  const Graph g = graph::erdos_renyi(9, 0.35, rng);
+  QaoaOptions opts;
+  opts.layers = 2;
+  opts.seed = 42;
+  const QaoaResult a = solve_qaoa(g, opts);
+  const QaoaResult b = solve_qaoa(g, opts);
+  EXPECT_DOUBLE_EQ(a.expectation, b.expectation);
+  EXPECT_EQ(a.cut.assignment, b.cut.assignment);
+  EXPECT_EQ(a.parameters, b.parameters);
+}
+
+TEST(Optimize, ShotBasedObjectiveRunsAndStaysBounded) {
+  util::Rng rng(17);
+  const Graph g = graph::erdos_renyi(8, 0.4, rng);
+  QaoaOptions opts;
+  opts.layers = 2;
+  opts.shot_based_objective = true;
+  opts.shots = 512;
+  opts.seed = 3;
+  const QaoaSolver solver(g);
+  const QaoaResult r = solver.optimize(opts);
+  EXPECT_LE(r.expectation, solver.exact_optimum() + 1e-9);
+  EXPECT_GT(r.best_sampled_value, 0.0);
+}
+
+TEST(Optimize, RespectsIterationBudget) {
+  util::Rng rng(19);
+  const Graph g = graph::erdos_renyi(8, 0.4, rng);
+  QaoaOptions opts;
+  opts.layers = 2;
+  opts.max_iterations = 25;
+  const QaoaResult r = solve_qaoa(g, opts);
+  EXPECT_LE(r.evaluations, 25);
+}
+
+TEST(Optimize, NelderMeadBackendWorks) {
+  util::Rng rng(21);
+  const Graph g = graph::erdos_renyi(8, 0.4, rng);
+  QaoaOptions opts;
+  opts.layers = 2;
+  opts.optimizer = OptimizerKind::kNelderMead;
+  opts.max_iterations = 150;
+  const QaoaResult r = solve_qaoa(g, opts);
+  EXPECT_GT(r.expectation, g.total_weight() / 2.0);
+}
+
+TEST(Optimize, RandomInitBackendWorks) {
+  util::Rng rng(23);
+  const Graph g = graph::erdos_renyi(8, 0.4, rng);
+  QaoaOptions opts;
+  opts.layers = 2;
+  opts.init = InitKind::kRandom;
+  opts.seed = 5;
+  const QaoaResult r = solve_qaoa(g, opts);
+  EXPECT_GT(r.expectation, 0.0);
+}
+
+TEST(Optimize, InputValidation) {
+  const Graph g = graph::cycle_graph(4);
+  QaoaOptions opts;
+  opts.layers = 0;
+  EXPECT_THROW(solve_qaoa(g, opts), std::invalid_argument);
+  opts = QaoaOptions{};
+  opts.top_k = 0;
+  EXPECT_THROW(solve_qaoa(g, opts), std::invalid_argument);
+}
+
+TEST(Schedule, PaperIterationEndpoints) {
+  EXPECT_EQ(paper_iteration_schedule(3), 30);
+  EXPECT_EQ(paper_iteration_schedule(4), 44);
+  EXPECT_EQ(paper_iteration_schedule(8), 100);
+  EXPECT_EQ(paper_iteration_schedule(1), 30);   // clamped below
+  EXPECT_EQ(paper_iteration_schedule(20), 100); // clamped above
+}
+
+TEST(Optimize, MoreLayersHelpOnAverageForRing) {
+  // p -> infinity is exact (paper section 3.2); at least p=4 should beat
+  // p=1 on an odd ring where p=1 is provably suboptimal.
+  const Graph g = graph::cycle_graph(7);
+  const QaoaSolver solver(g);
+  QaoaOptions p1;
+  p1.layers = 1;
+  p1.max_iterations = 200;
+  QaoaOptions p4 = p1;
+  p4.layers = 4;
+  p4.max_iterations = 400;
+  EXPECT_GT(solver.optimize(p4).expectation,
+            solver.optimize(p1).expectation - 1e-9);
+}
+
+// ------------------------------------------------------------------ RQAOA ----
+
+TEST(Rqaoa, ExactOnSmallTrees) {
+  // Trees are bipartite: the optimum cuts every edge; RQAOA's greedy
+  // correlation elimination recovers it.
+  const Graph g = graph::path_graph(10);
+  RqaoaOptions opts;
+  opts.qaoa.layers = 2;
+  opts.qaoa.max_iterations = 80;
+  opts.cutoff = 4;
+  const RqaoaResult r = solve_rqaoa(g, opts);
+  EXPECT_DOUBLE_EQ(r.cut.value, 9.0);
+  EXPECT_GT(r.rounds, 0);
+}
+
+TEST(Rqaoa, CompetitiveOnRandomGraphs) {
+  util::Rng rng(25);
+  const Graph g = graph::erdos_renyi(12, 0.3, rng);
+  const double exact = maxcut::solve_exact(g).value;
+  RqaoaOptions opts;
+  opts.qaoa.layers = 2;
+  opts.qaoa.max_iterations = 60;
+  opts.cutoff = 6;
+  const RqaoaResult r = solve_rqaoa(g, opts);
+  EXPECT_NEAR(maxcut::cut_value(g, r.cut.assignment), r.cut.value, 1e-9);
+  EXPECT_GE(r.cut.value, 0.85 * exact);
+  EXPECT_LE(r.cut.value, exact + 1e-9);
+}
+
+TEST(Rqaoa, SmallGraphSolvedDirectly) {
+  const Graph g = graph::cycle_graph(4);
+  RqaoaOptions opts;
+  opts.cutoff = 8;  // larger than the graph: no elimination rounds
+  const RqaoaResult r = solve_rqaoa(g, opts);
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_DOUBLE_EQ(r.cut.value, 4.0);
+}
+
+TEST(Rqaoa, CutoffValidation) {
+  RqaoaOptions opts;
+  opts.cutoff = 1;
+  EXPECT_THROW(solve_rqaoa(graph::cycle_graph(4), opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qq::qaoa

@@ -1,0 +1,134 @@
+// Tests for OpenQASM 2.0 export/import: structure of the emitted program
+// and semantic round-trip equivalence through the simulator.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "qcircuit/ansatz.hpp"
+#include "qcircuit/execute.hpp"
+#include "qcircuit/qasm.hpp"
+#include "qgraph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace qq::circuit {
+namespace {
+
+double overlap(const sim::StateVector& a, const sim::StateVector& b) {
+  std::complex<double> inner{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    inner += std::conj(a.data()[i]) * b.data()[i];
+  }
+  return std::abs(inner);
+}
+
+TEST(Qasm, HeaderAndRegisters) {
+  Circuit qc(3);
+  qc.h(0);
+  const std::string qasm = to_qasm(qc);
+  EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(qasm.find("include \"qelib1.inc\";"), std::string::npos);
+  EXPECT_NE(qasm.find("qreg q[3];"), std::string::npos);
+  EXPECT_NE(qasm.find("creg c[3];"), std::string::npos);
+  EXPECT_NE(qasm.find("measure q -> c;"), std::string::npos);
+}
+
+TEST(Qasm, MeasurementCanBeOmitted) {
+  Circuit qc(2);
+  qc.h(0);
+  QasmOptions opts;
+  opts.include_measurement = false;
+  const std::string qasm = to_qasm(qc, opts);
+  EXPECT_EQ(qasm.find("creg"), std::string::npos);
+  EXPECT_EQ(qasm.find("measure"), std::string::npos);
+}
+
+TEST(Qasm, RzzLowersToQelib1) {
+  Circuit qc(2);
+  qc.rzz(0, 1, 0.75);
+  const std::string qasm = to_qasm(qc);
+  EXPECT_EQ(qasm.find("rzz"), std::string::npos);
+  EXPECT_NE(qasm.find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("rz(0.75) q[1];"), std::string::npos);
+}
+
+TEST(Qasm, GateLinesAreEmitted) {
+  Circuit qc(2);
+  qc.h(0).x(1).rx(0, 0.5).cz(0, 1).swap(0, 1).barrier().phase(1, 0.25);
+  const std::string qasm = to_qasm(qc);
+  EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("x q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("rx(0.5) q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("cz q[0],q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("swap q[0],q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("barrier q;"), std::string::npos);
+  EXPECT_NE(qasm.find("p(0.25) q[1];"), std::string::npos);
+}
+
+class QasmRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(QasmRoundTrip, ParseBackIsSemanticallyIdentical) {
+  const int seed = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) + 40);
+  Circuit qc(4);
+  for (int i = 0; i < 30; ++i) {
+    const int q = util::uniform_int(rng, 0, 3);
+    int q2 = util::uniform_int(rng, 0, 3);
+    while (q2 == q) q2 = util::uniform_int(rng, 0, 3);
+    const double t = util::uniform(rng, -2.0, 2.0);
+    switch (util::uniform_int(rng, 0, 6)) {
+      case 0: qc.h(q); break;
+      case 1: qc.rx(q, t); break;
+      case 2: qc.rz(q, t); break;
+      case 3: qc.cx(q, q2); break;
+      case 4: qc.rzz(q, q2, t); break;
+      case 5: qc.cz(q, q2); break;
+      default: qc.phase(q, t); break;
+    }
+  }
+  const Circuit back = from_qasm(to_qasm(qc));
+  EXPECT_EQ(back.num_qubits(), qc.num_qubits());
+  const sim::StateVector a = run(qc);
+  const sim::StateVector b = run(back);
+  EXPECT_NEAR(overlap(a, b), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QasmRoundTrip, ::testing::Range(0, 6));
+
+TEST(Qasm, QaoaAnsatzRoundTrips) {
+  util::Rng rng(3);
+  const auto g = graph::erdos_renyi(5, 0.5, rng);
+  QaoaAngles angles;
+  angles.gammas = {0.3, 0.6};
+  angles.betas = {0.5, 0.2};
+  const Circuit qc = qaoa_ansatz(g, angles);
+  const Circuit back = from_qasm(to_qasm(qc));
+  EXPECT_NEAR(overlap(run(qc), run(back)), 1.0, 1e-9);
+}
+
+TEST(Qasm, ParserSkipsCommentsAndWhitespace) {
+  const std::string text = R"(
+// leading comment
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];   // two qubits
+h   q[0] ;
+cx q[0], q[1];
+)";
+  const Circuit qc = from_qasm(text);
+  EXPECT_EQ(qc.num_qubits(), 2);
+  ASSERT_EQ(qc.size(), 2u);
+  EXPECT_EQ(qc.gates()[0].kind, GateKind::kH);
+  EXPECT_EQ(qc.gates()[1].kind, GateKind::kCx);
+}
+
+TEST(Qasm, ParserErrorHandling) {
+  EXPECT_THROW(from_qasm("h q[0];"), std::runtime_error);  // no qreg
+  EXPECT_THROW(from_qasm("qreg q[2]; frobnicate q[0];"), std::runtime_error);
+  EXPECT_THROW(from_qasm("qreg q[2]; h q[0]"), std::runtime_error);  // no ';'
+  EXPECT_THROW(from_qasm("qreg q[2]; rx(1.0 q[0];"), std::runtime_error);
+  EXPECT_THROW(from_qasm("qreg q[2]; cx q[0];"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qq::circuit

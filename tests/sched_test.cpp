@@ -1,0 +1,300 @@
+// Tests for the workload-manager substrate: the discrete-event allocation
+// model (paper Fig. 1) and the threaded coordinator/worker engine (Fig. 2).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "sched/des.hpp"
+#include "sched/engine.hpp"
+
+namespace qq::sched {
+namespace {
+
+// -------------------------------------------------------------------- DES ----
+
+TEST(Des, SingleJobTimeline) {
+  const JobPhases job{2.0, 3.0, 1.0};
+  DesOptions opts;
+  opts.quantum_devices = 1;
+  opts.classical_nodes = 1;
+  for (const auto policy :
+       {AllocationPolicy::kMpmd, AllocationPolicy::kHeterogeneous}) {
+    opts.policy = policy;
+    const DesResult r = simulate_workload({job}, opts);
+    ASSERT_EQ(r.traces.size(), 1u);
+    const JobTrace& t = r.traces[0];
+    EXPECT_DOUBLE_EQ(t.start, 0.0);
+    EXPECT_DOUBLE_EQ(t.quantum_start, 2.0);
+    EXPECT_DOUBLE_EQ(t.quantum_end, 5.0);
+    EXPECT_DOUBLE_EQ(t.finish, 6.0);
+    EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+    EXPECT_DOUBLE_EQ(r.quantum_busy, 3.0);
+  }
+}
+
+TEST(Des, MpmdAllocationIdleFractionMatchesPhases) {
+  // MPMD holds the device for prep+quantum+post: idle share = 3/6.
+  const JobPhases job{2.0, 3.0, 1.0};
+  DesOptions opts;
+  opts.policy = AllocationPolicy::kMpmd;
+  const DesResult r = simulate_workload({job, job, job}, opts);
+  EXPECT_NEAR(r.quantum_alloc_idle_fraction, 0.5, 1e-12);
+}
+
+TEST(Des, HeterogeneousAllocationHasZeroAllocIdle) {
+  const JobPhases job{2.0, 3.0, 1.0};
+  DesOptions opts;
+  opts.policy = AllocationPolicy::kHeterogeneous;
+  opts.classical_nodes = 4;
+  const DesResult r = simulate_workload({job, job, job}, opts);
+  EXPECT_NEAR(r.quantum_alloc_idle_fraction, 0.0, 1e-12);
+}
+
+TEST(Des, HeterogeneousBeatsMpmdOnMakespan) {
+  // One device, plenty of classical nodes: het overlaps the classical
+  // phases of different jobs with the device's work (the Fig. 1 scenario).
+  std::vector<JobPhases> jobs(6, JobPhases{4.0, 2.0, 1.0});
+  DesOptions mpmd;
+  mpmd.quantum_devices = 1;
+  mpmd.classical_nodes = 6;
+  mpmd.policy = AllocationPolicy::kMpmd;
+  DesOptions het = mpmd;
+  het.policy = AllocationPolicy::kHeterogeneous;
+  const DesResult a = simulate_workload(jobs, mpmd);
+  const DesResult b = simulate_workload(jobs, het);
+  EXPECT_LT(b.makespan, a.makespan);
+  EXPECT_GT(b.quantum_utilization, a.quantum_utilization);
+}
+
+TEST(Des, MpmdSerializesOnTheDevice) {
+  // MPMD with one device: jobs cannot overlap at all.
+  std::vector<JobPhases> jobs(3, JobPhases{1.0, 1.0, 1.0});
+  DesOptions opts;
+  opts.quantum_devices = 1;
+  opts.classical_nodes = 8;
+  opts.policy = AllocationPolicy::kMpmd;
+  const DesResult r = simulate_workload(jobs, opts);
+  EXPECT_DOUBLE_EQ(r.makespan, 9.0);
+}
+
+TEST(Des, QuantumPhasesNeverOverlapBeyondDeviceCount) {
+  std::vector<JobPhases> jobs(8, JobPhases{0.5, 2.0, 0.25});
+  DesOptions opts;
+  opts.quantum_devices = 2;
+  opts.classical_nodes = 8;
+  opts.policy = AllocationPolicy::kHeterogeneous;
+  const DesResult r = simulate_workload(jobs, opts);
+  // Check pairwise overlap count at every quantum interval start.
+  for (const JobTrace& t : r.traces) {
+    int concurrent = 0;
+    for (const JobTrace& o : r.traces) {
+      if (o.quantum_start <= t.quantum_start + 1e-12 &&
+          t.quantum_start < o.quantum_end - 1e-12) {
+        ++concurrent;
+      }
+    }
+    EXPECT_LE(concurrent, 2);
+  }
+}
+
+TEST(Des, TraceOrderingInvariants) {
+  std::vector<JobPhases> jobs = {{1.0, 2.0, 0.5}, {0.0, 1.0, 0.0},
+                                 {3.0, 0.5, 2.0}};
+  for (const auto policy :
+       {AllocationPolicy::kMpmd, AllocationPolicy::kHeterogeneous}) {
+    DesOptions opts;
+    opts.policy = policy;
+    opts.quantum_devices = 1;
+    opts.classical_nodes = 2;
+    const DesResult r = simulate_workload(jobs, opts);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const JobTrace& t = r.traces[i];
+      EXPECT_GE(t.quantum_start, t.start + jobs[i].classical_prep - 1e-12);
+      EXPECT_DOUBLE_EQ(t.quantum_end, t.quantum_start + jobs[i].quantum);
+      EXPECT_GE(t.finish, t.quantum_end + jobs[i].classical_post - 1e-12);
+      EXPECT_GE(t.quantum_wait, 0.0);
+      EXPECT_LE(t.finish, r.makespan + 1e-12);
+    }
+  }
+}
+
+TEST(Des, EmptyWorkloadAndValidation) {
+  const DesResult r = simulate_workload({}, DesOptions{});
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(r.quantum_utilization, 0.0);
+  EXPECT_THROW(simulate_workload({JobPhases{-1.0, 0.0, 0.0}}, DesOptions{}),
+               std::invalid_argument);
+  DesOptions bad;
+  bad.quantum_devices = 0;
+  EXPECT_THROW(simulate_workload({JobPhases{1, 1, 1}}, bad),
+               std::invalid_argument);
+}
+
+TEST(Des, MoreDevicesNeverIncreaseMakespan) {
+  std::vector<JobPhases> jobs(10, JobPhases{0.5, 2.0, 0.5});
+  double prev = 1e300;
+  for (int devices = 1; devices <= 4; ++devices) {
+    DesOptions opts;
+    opts.quantum_devices = devices;
+    opts.classical_nodes = 10;
+    opts.policy = AllocationPolicy::kHeterogeneous;
+    const double makespan = simulate_workload(jobs, opts).makespan;
+    EXPECT_LE(makespan, prev + 1e-9);
+    prev = makespan;
+  }
+}
+
+TEST(Des, QueuePoliciesPermuteTheSameJobs) {
+  std::vector<JobPhases> jobs = {{1.0, 3.0, 0.5}, {0.5, 1.0, 0.5},
+                                 {2.0, 2.0, 1.0}};
+  for (const auto queue :
+       {QueuePolicy::kFifo, QueuePolicy::kLongestQuantumFirst,
+        QueuePolicy::kShortestQuantumFirst}) {
+    DesOptions opts;
+    opts.policy = AllocationPolicy::kHeterogeneous;
+    opts.queue = queue;
+    opts.classical_nodes = 3;
+    const DesResult r = simulate_workload(jobs, opts);
+    ASSERT_EQ(r.traces.size(), 3u);
+    std::set<int> ids;
+    for (const JobTrace& t : r.traces) ids.insert(t.job);
+    EXPECT_EQ(ids, (std::set<int>{0, 1, 2}));
+    EXPECT_DOUBLE_EQ(r.quantum_busy, 6.0);
+  }
+}
+
+TEST(Des, ShortestQuantumFirstImprovesMeanCompletion) {
+  // Classic SPT property on a single device: short jobs done first lowers
+  // the average completion time.
+  std::vector<JobPhases> jobs = {{0.0, 8.0, 0.0}, {0.0, 1.0, 0.0},
+                                 {0.0, 1.0, 0.0}, {0.0, 1.0, 0.0}};
+  DesOptions fifo;
+  fifo.policy = AllocationPolicy::kHeterogeneous;
+  fifo.classical_nodes = 4;
+  DesOptions spt = fifo;
+  spt.queue = QueuePolicy::kShortestQuantumFirst;
+  const DesResult a = simulate_workload(jobs, fifo);
+  const DesResult b = simulate_workload(jobs, spt);
+  EXPECT_LT(b.mean_completion, a.mean_completion);
+  // Makespan is unchanged on one device (same total work).
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Des, LongestQuantumFirstHelpsMultiDevicePacking) {
+  // LPT vs FIFO on two devices with an adversarial FIFO order: the long
+  // job arriving last forces a tail under FIFO.
+  std::vector<JobPhases> jobs = {{0.0, 1.0, 0.0}, {0.0, 1.0, 0.0},
+                                 {0.0, 1.0, 0.0}, {0.0, 1.0, 0.0},
+                                 {0.0, 4.0, 0.0}};
+  DesOptions fifo;
+  fifo.policy = AllocationPolicy::kHeterogeneous;
+  fifo.quantum_devices = 2;
+  fifo.classical_nodes = 5;
+  DesOptions lpt = fifo;
+  lpt.queue = QueuePolicy::kLongestQuantumFirst;
+  EXPECT_LT(simulate_workload(jobs, lpt).makespan,
+            simulate_workload(jobs, fifo).makespan);
+}
+
+// ----------------------------------------------------------------- engine ----
+
+TEST(Engine, RunsEveryTaskExactlyOnce) {
+  WorkflowEngine engine(EngineOptions{2, 3});
+  std::atomic<int> runs{0};
+  std::vector<Task> tasks;
+  for (int i = 0; i < 40; ++i) {
+    tasks.push_back({i % 2 == 0 ? ResourceKind::kQuantum
+                                : ResourceKind::kClassical,
+                     [&runs] { runs++; }});
+  }
+  const BatchReport report = engine.run_batch(std::move(tasks));
+  EXPECT_EQ(runs.load(), 40);
+  EXPECT_EQ(report.timings.size(), 40u);
+}
+
+TEST(Engine, RespectsQuantumSlotCap) {
+  const int slots = 2;
+  WorkflowEngine engine(EngineOptions{slots, 8});
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  std::vector<Task> tasks;
+  for (int i = 0; i < 24; ++i) {
+    tasks.push_back({ResourceKind::kQuantum, [&active, &peak] {
+                       const int now = ++active;
+                       int expected = peak.load();
+                       while (now > expected &&
+                              !peak.compare_exchange_weak(expected, now)) {
+                       }
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(2));
+                       --active;
+                     }});
+  }
+  engine.run_batch(std::move(tasks));
+  EXPECT_LE(peak.load(), slots);
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(Engine, ClassicalAndQuantumSlotsAreIndependent) {
+  WorkflowEngine engine(EngineOptions{1, 1});
+  std::atomic<int> q_active{0}, c_active{0}, both_peak{0};
+  std::vector<Task> tasks;
+  for (int i = 0; i < 10; ++i) {
+    const bool quantum = i % 2 == 0;
+    tasks.push_back({quantum ? ResourceKind::kQuantum
+                             : ResourceKind::kClassical,
+                     [&, quantum] {
+                       auto& mine = quantum ? q_active : c_active;
+                       ++mine;
+                       const int combined = q_active + c_active;
+                       int expected = both_peak.load();
+                       while (combined > expected &&
+                              !both_peak.compare_exchange_weak(expected,
+                                                               combined)) {
+                       }
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(2));
+                       --mine;
+                     }});
+  }
+  engine.run_batch(std::move(tasks));
+  // One of each kind may run together, but never two of the same kind.
+  EXPECT_LE(both_peak.load(), 2);
+}
+
+TEST(Engine, TimingsAreOrderedAndBusyAccumulates) {
+  WorkflowEngine engine(EngineOptions{2, 2});
+  std::vector<Task> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back({ResourceKind::kClassical, [] {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(5));
+                     }});
+  }
+  const BatchReport report = engine.run_batch(std::move(tasks));
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GE(report.busy_seconds, 8 * 0.004);
+  for (const TaskTiming& t : report.timings) {
+    EXPECT_LE(t.submit_s, t.start_s + 1e-9);
+    EXPECT_LE(t.start_s, t.end_s + 1e-9);
+  }
+}
+
+TEST(Engine, OptionValidation) {
+  EXPECT_THROW(WorkflowEngine(EngineOptions{0, 1}), std::invalid_argument);
+  EXPECT_THROW(WorkflowEngine(EngineOptions{1, 0}), std::invalid_argument);
+}
+
+TEST(Engine, EmptyBatchIsFine) {
+  WorkflowEngine engine(EngineOptions{1, 1});
+  const BatchReport report = engine.run_batch({});
+  EXPECT_EQ(report.timings.size(), 0u);
+  EXPECT_DOUBLE_EQ(report.busy_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace qq::sched

@@ -1,0 +1,197 @@
+// Tests for the MaxCut SDP (mixing method) and Goemans-Williamson rounding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "maxcut/cut.hpp"
+#include "maxcut/exact.hpp"
+#include "qgraph/generators.hpp"
+#include "sdp/gw.hpp"
+#include "sdp/mixing_method.hpp"
+#include "util/rng.hpp"
+
+namespace qq::sdp {
+namespace {
+
+using graph::Graph;
+
+// --------------------------------------------------------- mixing method ----
+
+TEST(MixingMethod, ProducesUnitVectors) {
+  util::Rng rng(1);
+  const Graph g = graph::erdos_renyi(20, 0.3, rng);
+  const MixingResult r = solve_maxcut_sdp(g);
+  ASSERT_EQ(r.vectors.size(),
+            static_cast<std::size_t>(g.num_nodes()) *
+                static_cast<std::size_t>(r.rank));
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    double norm2 = 0.0;
+    for (int c = 0; c < r.rank; ++c) {
+      const double v = r.vectors[static_cast<std::size_t>(u) *
+                                     static_cast<std::size_t>(r.rank) +
+                                 static_cast<std::size_t>(c)];
+      norm2 += v * v;
+    }
+    EXPECT_NEAR(norm2, 1.0, 1e-9) << "node " << u;
+  }
+}
+
+TEST(MixingMethod, ObjectiveUpperBoundsExactCut) {
+  // The SDP is a relaxation: its optimum dominates the best cut.
+  for (const std::uint64_t seed : {2ULL, 3ULL, 4ULL}) {
+    util::Rng rng(seed);
+    const Graph g =
+        graph::erdos_renyi(14, 0.35, rng, graph::WeightMode::kUniform01);
+    const double exact = maxcut::solve_exact(g).value;
+    const MixingResult r = solve_maxcut_sdp(g);
+    EXPECT_GE(r.objective, exact - 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(MixingMethod, ConvergesOnModerateGraphs) {
+  util::Rng rng(5);
+  const Graph g = graph::erdos_renyi(40, 0.2, rng);
+  const MixingResult r = solve_maxcut_sdp(g);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.sweeps, 0);
+}
+
+TEST(MixingMethod, KnownOptimumOnSingleEdge) {
+  // For one edge the SDP optimum equals the cut: antipodal vectors, value w.
+  Graph g(2);
+  g.add_edge(0, 1, 2.5);
+  const MixingResult r = solve_maxcut_sdp(g);
+  EXPECT_NEAR(r.objective, 2.5, 1e-6);
+}
+
+TEST(MixingMethod, BipartiteSdpValueEqualsTotalWeight) {
+  // Bipartite graphs: optimal cut = W, and the SDP is tight.
+  const Graph g = graph::grid_2d(3, 3);
+  const MixingResult r = solve_maxcut_sdp(g);
+  EXPECT_NEAR(r.objective, static_cast<double>(g.num_edges()), 1e-4);
+}
+
+TEST(MixingMethod, EmptyAndEdgelessGraphs) {
+  EXPECT_NEAR(solve_maxcut_sdp(Graph(0)).objective, 0.0, 1e-12);
+  EXPECT_NEAR(solve_maxcut_sdp(Graph(5)).objective, 0.0, 1e-12);
+}
+
+TEST(MixingMethod, DeterministicPerSeed) {
+  util::Rng rng(7);
+  const Graph g = graph::erdos_renyi(16, 0.3, rng);
+  MixingOptions opts;
+  opts.seed = 99;
+  const MixingResult a = solve_maxcut_sdp(g, opts);
+  const MixingResult b = solve_maxcut_sdp(g, opts);
+  EXPECT_EQ(a.vectors, b.vectors);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
+TEST(MixingMethod, ObjectiveHelperValidates) {
+  const Graph g = graph::cycle_graph(3);
+  EXPECT_THROW(sdp_objective(g, {1.0, 2.0}, 2), std::invalid_argument);
+  EXPECT_THROW(sdp_objective(g, {}, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- GW ----
+
+TEST(Gw, ApproximationRatioOnRandomGraphs) {
+  // Best slicing must reach at least the 0.878 guarantee (with margin for
+  // the stochastic rounding, it practically lands much higher on n=14).
+  for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL, 14ULL}) {
+    util::Rng rng(seed);
+    const Graph g =
+        graph::erdos_renyi(14, 0.4, rng, graph::WeightMode::kUniform01);
+    if (g.num_edges() == 0) continue;
+    const double exact = maxcut::solve_exact(g).value;
+    GwOptions opts;
+    opts.seed = seed;
+    const GwResult r = goemans_williamson(g, opts);
+    EXPECT_GE(r.best.value, 0.878 * exact - 1e-9) << "seed " << seed;
+    EXPECT_LE(r.best.value, exact + 1e-9);
+  }
+}
+
+TEST(Gw, BipartiteGraphsSolvedEssentiallyExactly) {
+  const Graph g = graph::grid_2d(4, 4);
+  const GwResult r = goemans_williamson(g);
+  EXPECT_NEAR(r.best.value, static_cast<double>(g.num_edges()), 1e-9);
+}
+
+TEST(Gw, AverageNeverExceedsBest) {
+  util::Rng rng(15);
+  const Graph g = graph::erdos_renyi(20, 0.3, rng);
+  const GwResult r = goemans_williamson(g);
+  EXPECT_LE(r.average_value, r.best.value + 1e-12);
+  EXPECT_GT(r.average_value, 0.0);
+}
+
+TEST(Gw, BestAssignmentAchievesReportedValue) {
+  util::Rng rng(17);
+  const Graph g =
+      graph::erdos_renyi(18, 0.25, rng, graph::WeightMode::kUniform01);
+  const GwResult r = goemans_williamson(g);
+  EXPECT_NEAR(maxcut::cut_value(g, r.best.assignment), r.best.value, 1e-9);
+}
+
+TEST(Gw, SdpBoundDominatesRoundedCuts) {
+  util::Rng rng(19);
+  const Graph g = graph::erdos_renyi(22, 0.25, rng);
+  const GwResult r = goemans_williamson(g);
+  EXPECT_GE(r.sdp_bound, r.best.value - 1e-6);
+}
+
+TEST(Gw, DeterministicPerSeed) {
+  util::Rng rng(21);
+  const Graph g = graph::erdos_renyi(16, 0.3, rng);
+  GwOptions opts;
+  opts.seed = 5;
+  const GwResult a = goemans_williamson(g, opts);
+  const GwResult b = goemans_williamson(g, opts);
+  EXPECT_DOUBLE_EQ(a.best.value, b.best.value);
+  EXPECT_DOUBLE_EQ(a.average_value, b.average_value);
+  EXPECT_EQ(a.best.assignment, b.best.assignment);
+}
+
+TEST(Gw, SlicingCountValidation) {
+  GwOptions opts;
+  opts.slicings = 0;
+  EXPECT_THROW(goemans_williamson(graph::cycle_graph(4), opts),
+               std::invalid_argument);
+}
+
+TEST(Gw, HandlesNegativeWeights) {
+  // Merge graphs in QAOA^2 carry negative weights; GW must stay usable.
+  Graph g(4);
+  g.add_edge(0, 1, -1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, -0.5);
+  g.add_edge(3, 0, 1.5);
+  const GwResult r = goemans_williamson(g);
+  const double exact = maxcut::solve_exact(g).value;
+  EXPECT_LE(r.best.value, exact + 1e-9);
+  // Mixing-method SDP remains an upper bound even with mixed signs.
+  EXPECT_GE(r.sdp_bound, exact - 1e-6);
+}
+
+class GwSlicings : public ::testing::TestWithParam<int> {};
+
+TEST_P(GwSlicings, MoreSlicingsNeverLowerTheBest) {
+  util::Rng rng(23);
+  const Graph g = graph::erdos_renyi(18, 0.3, rng);
+  GwOptions few;
+  few.slicings = GetParam();
+  few.seed = 3;
+  GwOptions many = few;
+  many.slicings = GetParam() * 4;
+  // Same seed: the first `few` hyperplanes coincide, so best is monotone.
+  const GwResult a = goemans_williamson(g, few);
+  const GwResult b = goemans_williamson(g, many);
+  EXPECT_GE(b.best.value, a.best.value - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, GwSlicings, ::testing::Values(1, 5, 10));
+
+}  // namespace
+}  // namespace qq::sdp

@@ -1,0 +1,300 @@
+// Unit tests for the util foundation: RNG, statistics, thread pool,
+// command-line parsing and table rendering.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace qq::util {
+namespace {
+
+// ---------------------------------------------------------------- RNG ----
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(7);
+  Rng child = parent.split();
+  // The child stream must not replay the parent stream.
+  Rng parent_copy(7);
+  (void)parent_copy.split();
+  int matches = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == parent()) ++matches;
+  }
+  EXPECT_LT(matches, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(uniform(rng));
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = uniform_int(rng, -2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, NormalMomentsMatchStandard) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(normal(rng));
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (bernoulli(rng, 0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  Rng rng(23);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = normal(rng);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 10.0);
+}
+
+TEST(Stats, CorrelationSignsAndDegenerate) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> up = {2, 4, 6, 8};
+  const std::vector<double> down = {8, 6, 4, 2};
+  const std::vector<double> flat = {5, 5, 5, 5};
+  EXPECT_NEAR(correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(xs, down), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(correlation(xs, flat), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps into bin 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(100.0);  // clamps into last bin
+  EXPECT_EQ(h.total, 4u);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[4], 2u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  ThreadPool pool(4);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([](int x) { return x + 1; }, 41);
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(8);
+  constexpr std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(pool, 0, n, [&hits](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksSumMatchesSerial) {
+  ThreadPool pool(6);
+  constexpr std::size_t n = 1 << 18;
+  std::atomic<long long> total{0};
+  parallel_for_chunks(pool, 0, n, [&total](std::size_t lo, std::size_t hi) {
+    long long partial = 0;
+    for (std::size_t i = lo; i < hi; ++i) partial += static_cast<long long>(i);
+    total += partial;
+  });
+  const long long expected =
+      static_cast<long long>(n) * static_cast<long long>(n - 1) / 2;
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ThreadPool, NestedParallelForDegradesToSerial) {
+  ThreadPool pool(4);
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  parallel_for(pool, 0, 8, [&](std::size_t) {
+    outer++;
+    // Nested region must complete (serially) instead of deadlocking.
+    parallel_for(pool, 0, 16, [&](std::size_t) { inner++; });
+  });
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 8 * 16);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, InsideWorkerDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.inside_worker());
+  auto fut = pool.submit([&pool] { return pool.inside_worker(); });
+  EXPECT_TRUE(fut.get());
+}
+
+// ---------------------------------------------------------------- cli ----
+
+TEST(Args, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--nodes", "12", "--full", "--p=0.3"};
+  Args args(5, argv);
+  EXPECT_TRUE(args.has("full"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get_int("nodes", 0), 12);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.3);
+  EXPECT_EQ(args.get_int("absent", 9), 9);
+}
+
+TEST(Args, ParsesIntListsCommaAndRange) {
+  const char* argv[] = {"prog", "--a", "3,5,9", "--b", "2..6:2", "--c", "4..6"};
+  Args args(7, argv);
+  EXPECT_EQ(args.get_int_list("a", {}), (std::vector<int>{3, 5, 9}));
+  EXPECT_EQ(args.get_int_list("b", {}), (std::vector<int>{2, 4, 6}));
+  EXPECT_EQ(args.get_int_list("c", {}), (std::vector<int>{4, 5, 6}));
+  EXPECT_EQ(args.get_int_list("zzz", {1, 2}), (std::vector<int>{1, 2}));
+}
+
+TEST(Args, ParsesDoubleLists) {
+  const char* argv[] = {"prog", "--probs", "0.1,0.2,0.5"};
+  Args args(3, argv);
+  EXPECT_EQ(args.get_double_list("probs", {}),
+            (std::vector<double>{0.1, 0.2, 0.5}));
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Grid, StoresAndFormatsValues) {
+  Grid g("demo", {"r0", "r1"}, {"c0", "c1", "c2"}, 2);
+  g.set(0, 0, 0.5);
+  g.set(1, 2, 1.25);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(g.at(1, 2), 1.25);
+  EXPECT_THROW(g.set(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(g.at(0, 3), std::out_of_range);
+  const std::string s = g.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("0.50"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.millis(), 15.0);
+  t.reset();
+  EXPECT_LT(t.millis(), 15.0);
+}
+
+}  // namespace
+}  // namespace qq::util
