@@ -5,7 +5,7 @@
 // Defaults use node counts that fit one box comfortably; `--full` raises
 // them to the largest sizes the in-process simulator accepts (the paper's
 // 30-33 qubit runs need ~16-128 GiB state vectors per instance; see
-// EXPERIMENTS.md).
+// DESIGN.md "Scaling").
 //
 //   ./bench_table1 [--nodes 13,14] [--probs 0.1,0.2] [--full]
 
