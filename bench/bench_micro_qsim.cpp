@@ -37,6 +37,44 @@ void BM_ApplyRx(benchmark::State& state) {
 }
 BENCHMARK(BM_ApplyRx)->Arg(10)->Arg(14)->Arg(18)->Arg(20);
 
+void BM_ApplyRz(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector sv = StateVector::plus_state(n);
+  int q = 0;
+  for (auto _ : state) {
+    sv.apply_rz(q, 0.3);
+    q = (q + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.size()));
+}
+BENCHMARK(BM_ApplyRz)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
+
+// One whole QAOA mixer layer. Fused: a few cache-blocked passes
+// (apply_rx_layer). Unfused: the old n separate apply_rx sweeps — kept as
+// the in-binary "before" for BENCH_qsim.json.
+void BM_MixerLayerFused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector sv = StateVector::plus_state(n);
+  for (auto _ : state) {
+    sv.apply_rx_layer(0.3);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.size()) * n);
+}
+BENCHMARK(BM_MixerLayerFused)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
+
+void BM_MixerLayerUnfused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector sv = StateVector::plus_state(n);
+  for (auto _ : state) {
+    for (int q = 0; q < n; ++q) sv.apply_rx(q, 0.3);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.size()) * n);
+}
+BENCHMARK(BM_MixerLayerUnfused)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
+
 void BM_ApplyCx(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   StateVector sv = StateVector::plus_state(n);
@@ -48,7 +86,33 @@ void BM_ApplyCx(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(sv.size()));
 }
-BENCHMARK(BM_ApplyCx)->Arg(10)->Arg(14)->Arg(18)->Arg(20);
+BENCHMARK(BM_ApplyCx)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
+
+void BM_ApplyCz(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector sv = StateVector::plus_state(n);
+  int q = 0;
+  for (auto _ : state) {
+    sv.apply_cz(q, (q + 1) % n);
+    q = (q + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.size()));
+}
+BENCHMARK(BM_ApplyCz)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
+
+void BM_ApplySwap(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector sv = StateVector::plus_state(n);
+  int q = 0;
+  for (auto _ : state) {
+    sv.apply_swap(q, (q + 1) % n);
+    q = (q + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.size()));
+}
+BENCHMARK(BM_ApplySwap)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
 
 void BM_ApplyRzz(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -61,7 +125,7 @@ void BM_ApplyRzz(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(sv.size()));
 }
-BENCHMARK(BM_ApplyRzz)->Arg(10)->Arg(14)->Arg(18)->Arg(20);
+BENCHMARK(BM_ApplyRzz)->Arg(10)->Arg(14)->Arg(18)->Arg(20)->Arg(22);
 
 void BM_DiagonalPhaseSweep(benchmark::State& state) {
   // One whole QAOA cost layer as a single sweep — the fast path that makes

@@ -32,9 +32,9 @@ sim::StateVector QaoaSolver::state(const circuit::QaoaAngles& angles) const {
   for (std::size_t layer = 0; layer < angles.layers(); ++layer) {
     // Cost layer e^{-i gamma H_C}: one diagonal sweep over the cut table.
     sv.apply_diagonal_phase(cut_table_, angles.gammas[layer]);
-    // Mixer e^{-i beta H_M} = Prod_q RX_q(2 beta).
-    const double two_beta = 2.0 * angles.betas[layer];
-    for (int q = 0; q < n; ++q) sv.apply_rx(q, two_beta);
+    // Mixer e^{-i beta H_M} = Prod_q RX_q(2 beta), fused into one
+    // cache-blocked pass instead of n separate sweeps.
+    sv.apply_rx_layer(2.0 * angles.betas[layer]);
   }
   return sv;
 }
@@ -151,7 +151,10 @@ QaoaResult QaoaSolver::optimize(const QaoaOptions& options) const {
 
   if (options.shots > 0) {
     const auto samples = sim::sample_counts(sv, options.shots, shot_rng);
-    double best_sampled = 0.0;
+    // Seed from the first sample, NOT 0.0: graphs whose every cut value is
+    // negative (signed merge graphs, negative-weight edges) must report the
+    // true best sample rather than a phantom 0.
+    double best_sampled = cut_table_[samples.front()];
     for (const sim::BasisState s : samples) {
       best_sampled = std::max(best_sampled, cut_table_[s]);
     }

@@ -61,7 +61,9 @@ struct QaoaResult {
   int evaluations = 0;
   int layers = 0;
   /// Best cut among `shots` sampled bit strings at the optimum — the
-  /// hardware-realistic diagnostic.
+  /// hardware-realistic diagnostic. Only meaningful when options.shots > 0;
+  /// it is seeded from the first sample, so all-negative cut landscapes
+  /// report their true (negative) best.
   double best_sampled_value = 0.0;
 };
 

@@ -1,0 +1,35 @@
+#pragma once
+// Internal helpers shared by the qsim kernel translation units
+// (statevector.cpp, measure.cpp). Not part of the public API.
+//
+// The insertion enumerators are the backbone of every pair/subset kernel:
+// they spread a dense counter over the bit positions a gate does NOT act
+// on, so the kernels iterate exactly the index subset they touch (see
+// DESIGN.md "Kernel index enumeration").
+
+#include <cstdint>
+
+#include "qsim/statevector.hpp"
+
+namespace qq::sim::detail {
+
+/// Chunk grain for the parallel sweeps/reductions over amplitude arrays:
+/// small enough to load-balance, large enough that per-chunk dispatch cost
+/// vanishes against 2^14 complex updates.
+inline constexpr std::size_t kParallelGrain = 1 << 14;
+
+/// Spread index t over the bit positions excluding `q`: returns the basis
+/// index with bit q forced to zero whose remaining bits enumerate t.
+inline BasisState insert_zero_bit(std::uint64_t t, int q) noexcept {
+  const BasisState mask = (BasisState{1} << q) - 1;
+  return ((t & ~mask) << 1) | (t & mask);
+}
+
+/// Spread index t over the bit positions excluding `lo` and `hi` (lo < hi):
+/// basis index with both bits forced to zero.
+inline BasisState insert_two_zero_bits(std::uint64_t t, int lo,
+                                       int hi) noexcept {
+  return insert_zero_bit(insert_zero_bit(t, lo), hi);
+}
+
+}  // namespace qq::sim::detail

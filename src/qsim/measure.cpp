@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 
+#include "qsim/kernel_detail.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qq::sim {
+
+using detail::insert_zero_bit;
+using detail::kParallelGrain;
 
 std::vector<double> probabilities(const StateVector& sv) {
   const auto& amps = sv.data();
@@ -18,22 +21,31 @@ std::vector<double> probabilities(const StateVector& sv) {
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) probs[i] = std::norm(amps[i]);
       },
-      1 << 14);
+      kParallelGrain);
   return probs;
 }
 
 BasisState argmax_probability(const StateVector& sv) {
+  struct Best {
+    double p;
+    BasisState s;
+  };
   const auto& amps = sv.data();
-  std::size_t best = 0;
-  double best_p = std::norm(amps[0]);
-  for (std::size_t i = 1; i < amps.size(); ++i) {
-    const double p = std::norm(amps[i]);
-    if (p > best_p) {
-      best_p = p;
-      best = i;
-    }
-  }
-  return best;
+  const Best best = util::parallel_reduce(
+      0, amps.size(), Best{-1.0, 0},
+      [&amps](std::size_t lo, std::size_t hi) {
+        Best local{std::norm(amps[lo]), lo};
+        for (std::size_t i = lo + 1; i < hi; ++i) {
+          const double p = std::norm(amps[i]);
+          if (p > local.p) local = Best{p, i};
+        }
+        return local;
+      },
+      // Chunks are folded in ascending index order, so preferring the
+      // accumulator on ties keeps the smallest index.
+      [](Best acc, Best chunk) { return chunk.p > acc.p ? chunk : acc; },
+      kParallelGrain);
+  return best.s;
 }
 
 std::vector<std::pair<BasisState, double>> top_k_states(const StateVector& sv,
@@ -62,15 +74,73 @@ std::vector<std::pair<BasisState, double>> top_k_states(const StateVector& sv,
 std::vector<BasisState> sample_counts(const StateVector& sv, int shots,
                                       util::Rng& rng) {
   if (shots < 0) throw std::invalid_argument("sample_counts: negative shots");
-  std::vector<double> cdf = probabilities(sv);
-  std::partial_sum(cdf.begin(), cdf.end(), cdf.begin());
+  if (shots == 0) return {};
+  const auto& amps = sv.data();
+  const std::size_t n = amps.size();
+
+  // Inclusive-prefix CDF of |amp|^2, built in two parallel passes over fixed
+  // chunk boundaries: per-chunk probabilities + sums, serial scan of the
+  // chunk sums, then per-chunk prefix with the chunk's offset.
+  std::vector<double> cdf(n);
+  auto& pool = util::ThreadPool::global();
+  const std::size_t nchunks =
+      util::detail::plan_chunks(pool, n, kParallelGrain);
+  const std::size_t len = (n + nchunks - 1) / nchunks;
+  std::vector<double> sums(nchunks, 0.0);
+  util::parallel_for(
+      0, nchunks,
+      [&](std::size_t c) {
+        const std::size_t lo = c * len;
+        const std::size_t hi = std::min(n, lo + len);
+        double sum = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          cdf[i] = std::norm(amps[i]);
+          sum += cdf[i];
+        }
+        sums[c] = sum;
+      },
+      1);
+  double running = 0.0;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const double s = sums[c];
+    sums[c] = running;  // exclusive offset for chunk c
+    running += s;
+  }
+  util::parallel_for(
+      0, nchunks,
+      [&](std::size_t c) {
+        const std::size_t lo = c * len;
+        const std::size_t hi = std::min(n, lo + len);
+        double acc = sums[c];
+        for (std::size_t i = lo; i < hi; ++i) {
+          acc += cdf[i];
+          cdf[i] = acc;
+        }
+      },
+      1);
+
   const double total = cdf.back();
+  if (!(total > 0.0)) {
+    throw std::runtime_error("sample_counts: state has zero norm");
+  }
+  // Last state that can legitimately be drawn: the largest index whose CDF
+  // entry strictly exceeds its predecessor. Everything after it is a
+  // zero-probability plateau that floating-point clamping must never hit.
+  std::size_t last = n - 1;
+  while (last > 0 && !(cdf[last] > cdf[last - 1])) --last;
+
   std::vector<BasisState> out;
   out.reserve(static_cast<std::size_t>(shots));
+  const auto begin = cdf.begin();
+  const auto end_it = cdf.begin() + static_cast<std::ptrdiff_t>(last) + 1;
   for (int s = 0; s < shots; ++s) {
     const double r = util::uniform(rng) * total;
-    const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
-    out.push_back(static_cast<BasisState>(it - cdf.begin()));
+    // upper_bound (first entry > r) skips zero-probability plateaus when r
+    // lands exactly on a boundary; the clamp covers r accumulating past
+    // cdf.back() under floating-point rounding.
+    const auto it = std::upper_bound(begin, end_it, r);
+    out.push_back(std::min<BasisState>(
+        static_cast<BasisState>(it - begin), static_cast<BasisState>(last)));
   }
   return out;
 }
@@ -93,21 +163,16 @@ double expectation_diagonal(const StateVector& sv,
   if (values.size() != amps.size()) {
     throw std::invalid_argument("expectation_diagonal: table size mismatch");
   }
-  // Chunked parallel reduction with per-chunk partials.
-  std::mutex mutex;
-  double total = 0.0;
-  util::parallel_for_chunks(
-      0, amps.size(),
-      [&](std::size_t lo, std::size_t hi) {
+  return util::parallel_reduce(
+      0, amps.size(), 0.0,
+      [&amps, &values](std::size_t lo, std::size_t hi) {
         double partial = 0.0;
         for (std::size_t i = lo; i < hi; ++i) {
           partial += std::norm(amps[i]) * values[i];
         }
-        std::lock_guard<std::mutex> lock(mutex);
-        total += partial;
+        return partial;
       },
-      1 << 14);
-  return total;
+      [](double a, double b) { return a + b; }, kParallelGrain);
 }
 
 double expectation_z(const StateVector& sv, int q) {
@@ -116,29 +181,49 @@ double expectation_z(const StateVector& sv, int q) {
   }
   const auto& amps = sv.data();
   const BasisState bit = BasisState{1} << q;
-  double total = 0.0;
-  for (std::size_t i = 0; i < amps.size(); ++i) {
-    const double p = std::norm(amps[i]);
-    total += (i & bit) ? -p : p;
-  }
-  return total;
+  // Pair enumeration: each t visits the (bit=0, bit=1) pair, so the sweep is
+  // half the indices of the old full scan and branch-free.
+  return util::parallel_reduce(
+      0, amps.size() >> 1, 0.0,
+      [&amps, q, bit](std::size_t lo, std::size_t hi) {
+        double partial = 0.0;
+        for (std::size_t t = lo; t < hi; ++t) {
+          const BasisState i0 = insert_zero_bit(t, q);
+          partial += std::norm(amps[i0]) - std::norm(amps[i0 | bit]);
+        }
+        return partial;
+      },
+      [](double a, double b) { return a + b; }, kParallelGrain);
 }
 
 double expectation_zz(const StateVector& sv, int a, int b) {
   if (a < 0 || a >= sv.num_qubits() || b < 0 || b >= sv.num_qubits()) {
     throw std::out_of_range("expectation_zz: bad qubit");
   }
+  if (a == b) {
+    // <Z_q Z_q> = <I> — the squared norm.
+    return sv.norm_squared();
+  }
   const auto& amps = sv.data();
   const BasisState abit = BasisState{1} << a;
   const BasisState bbit = BasisState{1} << b;
-  double total = 0.0;
-  for (std::size_t i = 0; i < amps.size(); ++i) {
-    const double p = std::norm(amps[i]);
-    const bool za = (i & abit) != 0;
-    const bool zb = (i & bbit) != 0;
-    total += (za == zb) ? p : -p;
-  }
-  return total;
+  const int lo_q = std::min(a, b);
+  const int hi_q = std::max(a, b);
+  // Quarter enumeration: each t visits all four (bit_a, bit_b) combinations.
+  return util::parallel_reduce(
+      0, amps.size() >> 2, 0.0,
+      [&amps, lo_q, hi_q, abit, bbit](std::size_t lo, std::size_t hi) {
+        double partial = 0.0;
+        for (std::size_t t = lo; t < hi; ++t) {
+          const BasisState i00 =
+              insert_zero_bit(insert_zero_bit(t, lo_q), hi_q);
+          partial += std::norm(amps[i00]) - std::norm(amps[i00 | abit]) -
+                     std::norm(amps[i00 | bbit]) +
+                     std::norm(amps[i00 | abit | bbit]);
+        }
+        return partial;
+      },
+      [](double a2, double b2) { return a2 + b2; }, kParallelGrain);
 }
 
 }  // namespace qq::sim

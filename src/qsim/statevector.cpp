@@ -1,22 +1,80 @@
 #include "qsim/statevector.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 
+#include "qsim/kernel_detail.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qq::sim {
 
-namespace {
-constexpr std::size_t kParallelGrain = 1 << 14;
+using detail::insert_two_zero_bits;
+using detail::insert_zero_bit;
+using detail::kParallelGrain;
 
-/// Spread index t over the bit positions excluding `q`: returns the basis
-/// index with bit q forced to zero whose remaining bits enumerate t.
-inline BasisState insert_zero_bit(std::uint64_t t, int q) noexcept {
-  const BasisState mask = (BasisState{1} << q) - 1;
-  return ((t & ~mask) << 1) | (t & mask);
+namespace {
+
+/// Walk [t_lo, t_hi) of an insertion enumeration whose images are contiguous
+/// in address space for every aligned group of `run` consecutive t values
+/// (`run` a power of two). Calls fn(map(t), len) for each maximal run, where
+/// map(t) is the amplitude index of t and [map(t), map(t)+len) is contiguous.
+/// This is how the rewritten kernels turn subset enumeration into
+/// vectorizable streaming loops instead of per-element branches.
+template <typename Map, typename Fn>
+inline void walk_runs(std::size_t t_lo, std::size_t t_hi, std::size_t run,
+                      Map map, Fn fn) {
+  std::size_t t = t_lo;
+  while (t < t_hi) {
+    const std::size_t in_run = t & (run - 1);
+    const std::size_t len = std::min(run - in_run, t_hi - t);
+    fn(map(t), len);
+    t += len;
+  }
 }
+
+/// amps[i] *= (pr + i*pi) for `len` contiguous amplitudes starting at p
+/// (p points at the real part of the first one).
+inline void scale_run(double* p, std::size_t len, double pr,
+                      double pi) noexcept {
+  for (std::size_t j = 0; j < 2 * len; j += 2) {
+    const double re = p[j];
+    const double im = p[j + 1];
+    p[j] = pr * re - pi * im;
+    p[j + 1] = pr * im + pi * re;
+  }
+}
+
+inline void negate_run(double* p, std::size_t len) noexcept {
+  for (std::size_t j = 0; j < 2 * len; ++j) p[j] = -p[j];
+}
+
+/// RX butterfly between two contiguous runs of `len` amplitudes:
+///   a0' = c*a0 - i s*a1,  a1' = -i s*a0 + c*a1.
+/// Written in explicit real arithmetic so the compiler vectorizes it.
+inline void rx_butterfly_runs(double* p0, double* p1, std::size_t len,
+                              double c, double s) noexcept {
+  for (std::size_t j = 0; j < 2 * len; j += 2) {
+    const double a0r = p0[j];
+    const double a0i = p0[j + 1];
+    const double a1r = p1[j];
+    const double a1i = p1[j + 1];
+    p0[j] = c * a0r + s * a1i;
+    p0[j + 1] = c * a0i - s * a1r;
+    p1[j] = c * a1r + s * a0i;
+    p1[j + 1] = c * a1i - s * a0r;
+  }
+}
+
+/// Fused-mixer cache geometry: pass 1 applies the lowest kFusedBlockQubits
+/// qubits inside contiguous 2^12-amplitude (64 KiB) blocks; pass 2 applies
+/// the remaining qubits in groups of kFusedGroupQubits over column tiles of
+/// kFusedColumnTile amplitudes, so each tile (2^8 rows x 256 amps = 1 MiB
+/// worst case) stays cache-resident across the whole group.
+constexpr int kFusedBlockQubits = 12;
+constexpr int kFusedGroupQubits = 8;
+constexpr std::size_t kFusedColumnTile = 256;
 }  // namespace
 
 StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
@@ -50,10 +108,14 @@ void StateVector::check_qubit(int q) const {
 }
 
 double StateVector::norm_squared() const {
-  // Serial reduction is fine: measurement helpers handle the hot paths.
-  double sum = 0.0;
-  for (const Amplitude& a : amps_) sum += std::norm(a);
-  return sum;
+  return util::parallel_reduce(
+      0, amps_.size(), 0.0,
+      [this](std::size_t lo, std::size_t hi) {
+        double partial = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) partial += std::norm(amps_[i]);
+        return partial;
+      },
+      [](double a, double b) { return a + b; }, kParallelGrain);
 }
 
 void StateVector::normalize() {
@@ -117,13 +179,21 @@ void StateVector::apply_y(int q) {
 
 void StateVector::apply_z(int q) {
   check_qubit(q);
+  // Half enumeration: only the amplitudes with bit q set are touched, as
+  // contiguous runs of 2^q — no branch, half the old sweep.
   const BasisState bit = BasisState{1} << q;
+  const std::size_t run = bit;
+  const std::size_t half = amps_.size() >> 1;
+  double* d = reinterpret_cast<double*>(amps_.data());
   util::parallel_for_chunks(
-      0, amps_.size(),
-      [this, bit](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          if (i & bit) amps_[i] = -amps_[i];
-        }
+      0, half,
+      [d, q, bit, run](std::size_t lo, std::size_t hi) {
+        walk_runs(
+            lo, hi, run,
+            [q, bit](std::size_t t) { return insert_zero_bit(t, q) | bit; },
+            [d](BasisState i0, std::size_t len) {
+              negate_run(d + 2 * i0, len);
+            });
       },
       kParallelGrain);
 }
@@ -147,26 +217,69 @@ void StateVector::apply_rz(int q, double theta) {
   const Amplitude e0 = std::polar(1.0, -theta * 0.5);
   const Amplitude e1 = std::polar(1.0, theta * 0.5);
   const BasisState bit = BasisState{1} << q;
+  double* d = reinterpret_cast<double*>(amps_.data());
+  if (bit >= 8 || amps_.size() < 8) {
+    // Stride structure: period 2^(q+1) = a contiguous e0 run then an e1 run,
+    // each 2^q long. Two half enumerations, both branch-free streaming.
+    const std::size_t half = amps_.size() >> 1;
+    util::parallel_for_chunks(
+        0, half,
+        [d, q, bit, e0, e1](std::size_t lo, std::size_t hi) {
+          walk_runs(
+              lo, hi, bit,
+              [q](std::size_t t) { return insert_zero_bit(t, q); },
+              [d, e0](BasisState i0, std::size_t len) {
+                scale_run(d + 2 * i0, len, e0.real(), e0.imag());
+              });
+          walk_runs(
+              lo, hi, bit,
+              [q, bit](std::size_t t) { return insert_zero_bit(t, q) | bit; },
+              [d, e1](BasisState i0, std::size_t len) {
+                scale_run(d + 2 * i0, len, e1.real(), e1.imag());
+              });
+        },
+        kParallelGrain);
+    return;
+  }
+  // Low qubit (runs shorter than a cache line): one sweep with a periodic
+  // 8-amplitude phase pattern instead of two passes over every line.
+  double tbl[16];
+  for (std::size_t j = 0; j < 8; ++j) {
+    const Amplitude e = (j & bit) ? e1 : e0;
+    tbl[2 * j] = e.real();
+    tbl[2 * j + 1] = e.imag();
+  }
   util::parallel_for_chunks(
-      0, amps_.size(),
-      [this, bit, e0, e1](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          amps_[i] *= (i & bit) ? e1 : e0;
+      0, amps_.size() >> 3,
+      [d, &tbl](std::size_t lo, std::size_t hi) {
+        for (std::size_t blk8 = lo; blk8 < hi; ++blk8) {
+          double* p = d + 16 * blk8;
+          for (std::size_t j = 0; j < 16; j += 2) {
+            const double re = p[j];
+            const double im = p[j + 1];
+            p[j] = tbl[j] * re - tbl[j + 1] * im;
+            p[j + 1] = tbl[j] * im + tbl[j + 1] * re;
+          }
         }
       },
-      kParallelGrain);
+      kParallelGrain / 8);
 }
 
 void StateVector::apply_phase(int q, double phi) {
   check_qubit(q);
   const Amplitude e = std::polar(1.0, phi);
   const BasisState bit = BasisState{1} << q;
+  const std::size_t half = amps_.size() >> 1;
+  double* d = reinterpret_cast<double*>(amps_.data());
   util::parallel_for_chunks(
-      0, amps_.size(),
-      [this, bit, e](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          if (i & bit) amps_[i] *= e;
-        }
+      0, half,
+      [d, q, bit, e](std::size_t lo, std::size_t hi) {
+        walk_runs(
+            lo, hi, bit,
+            [q, bit](std::size_t t) { return insert_zero_bit(t, q) | bit; },
+            [d, e](BasisState i0, std::size_t len) {
+              scale_run(d + 2 * i0, len, e.real(), e.imag());
+            });
       },
       kParallelGrain);
 }
@@ -177,18 +290,29 @@ void StateVector::apply_cx(int control, int target) {
   if (control == target) {
     throw std::invalid_argument("apply_cx: control == target");
   }
+  // Quarter enumeration over the (control=1, target=0) representatives; each
+  // run swaps two contiguous blocks.
   const BasisState cbit = BasisState{1} << control;
   const BasisState tbit = BasisState{1} << target;
+  const int lo_q = std::min(control, target);
+  const int hi_q = std::max(control, target);
+  const std::size_t run = BasisState{1} << lo_q;
+  const std::size_t quarter = amps_.size() >> 2;
   util::parallel_for_chunks(
-      0, amps_.size(),
-      [this, cbit, tbit](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          // Swap each pair exactly once: act on the (control=1, target=0)
-          // representative.
-          if ((i & cbit) && !(i & tbit)) {
-            std::swap(amps_[i], amps_[i | tbit]);
-          }
-        }
+      0, quarter,
+      [this, lo_q, hi_q, cbit, tbit, run](std::size_t lo, std::size_t hi) {
+        walk_runs(
+            lo, hi, run,
+            [lo_q, hi_q, cbit](std::size_t t) {
+              return insert_two_zero_bits(t, lo_q, hi_q) | cbit;
+            },
+            [this, tbit](BasisState i0, std::size_t len) {
+              std::swap_ranges(amps_.begin() + static_cast<std::ptrdiff_t>(i0),
+                               amps_.begin() +
+                                   static_cast<std::ptrdiff_t>(i0 + len),
+                               amps_.begin() +
+                                   static_cast<std::ptrdiff_t>(i0 | tbit));
+            });
       },
       kParallelGrain);
 }
@@ -197,13 +321,24 @@ void StateVector::apply_cz(int a, int b) {
   check_qubit(a);
   check_qubit(b);
   if (a == b) throw std::invalid_argument("apply_cz: identical qubits");
+  // Only the (1, 1) quarter is touched, as contiguous runs.
+  const int lo_q = std::min(a, b);
+  const int hi_q = std::max(a, b);
   const BasisState mask = (BasisState{1} << a) | (BasisState{1} << b);
+  const std::size_t run = BasisState{1} << lo_q;
+  const std::size_t quarter = amps_.size() >> 2;
+  double* d = reinterpret_cast<double*>(amps_.data());
   util::parallel_for_chunks(
-      0, amps_.size(),
-      [this, mask](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          if ((i & mask) == mask) amps_[i] = -amps_[i];
-        }
+      0, quarter,
+      [d, lo_q, hi_q, mask, run](std::size_t lo, std::size_t hi) {
+        walk_runs(
+            lo, hi, run,
+            [lo_q, hi_q, mask](std::size_t t) {
+              return insert_two_zero_bits(t, lo_q, hi_q) | mask;
+            },
+            [d](BasisState i0, std::size_t len) {
+              negate_run(d + 2 * i0, len);
+            });
       },
       kParallelGrain);
 }
@@ -212,16 +347,30 @@ void StateVector::apply_swap(int a, int b) {
   check_qubit(a);
   check_qubit(b);
   if (a == b) return;
+  // Quarter enumeration over the (a=1, b=0) representatives; each run swaps
+  // with the mirrored (a=0, b=1) block.
   const BasisState abit = BasisState{1} << a;
   const BasisState bbit = BasisState{1} << b;
+  const int lo_q = std::min(a, b);
+  const int hi_q = std::max(a, b);
+  const std::size_t run = BasisState{1} << lo_q;
+  const std::size_t quarter = amps_.size() >> 2;
   util::parallel_for_chunks(
-      0, amps_.size(),
-      [this, abit, bbit](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          if ((i & abit) && !(i & bbit)) {
-            std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
-          }
-        }
+      0, quarter,
+      [this, lo_q, hi_q, abit, bbit, run](std::size_t lo, std::size_t hi) {
+        walk_runs(
+            lo, hi, run,
+            [lo_q, hi_q, abit](std::size_t t) {
+              return insert_two_zero_bits(t, lo_q, hi_q) | abit;
+            },
+            [this, abit, bbit](BasisState i0, std::size_t len) {
+              const BasisState j0 = (i0 & ~abit) | bbit;
+              std::swap_ranges(amps_.begin() + static_cast<std::ptrdiff_t>(i0),
+                               amps_.begin() +
+                                   static_cast<std::ptrdiff_t>(i0 + len),
+                               amps_.begin() +
+                                   static_cast<std::ptrdiff_t>(j0));
+            });
       },
       kParallelGrain);
 }
@@ -231,21 +380,143 @@ void StateVector::apply_rzz(int a, int b, double theta) {
   check_qubit(b);
   if (a == b) throw std::invalid_argument("apply_rzz: identical qubits");
   // exp(-i θ/2 Z_a Z_b): phase e^{-iθ/2} when bits agree, e^{+iθ/2} when
-  // they differ.
+  // they differ. Every amplitude is touched, so the win is turning the old
+  // per-element branch into constant-phase streaming runs.
   const Amplitude same = std::polar(1.0, -theta * 0.5);
   const Amplitude diff = std::polar(1.0, theta * 0.5);
   const BasisState abit = BasisState{1} << a;
   const BasisState bbit = BasisState{1} << b;
+  const int lo_q = std::min(a, b);
+  const std::size_t run = BasisState{1} << lo_q;
+  double* d = reinterpret_cast<double*>(amps_.data());
+  if (run >= 8 || amps_.size() < 8) {
+    // The phase is constant over aligned runs of 2^min(a,b) amplitudes.
+    const std::size_t nruns = amps_.size() >> lo_q;
+    util::parallel_for_chunks(
+        0, nruns,
+        [d, lo_q, abit, bbit, run, same, diff](std::size_t lo,
+                                               std::size_t hi) {
+          for (std::size_t r = lo; r < hi; ++r) {
+            const BasisState base = static_cast<BasisState>(r) << lo_q;
+            const bool eq = ((base & abit) != 0) == ((base & bbit) != 0);
+            const Amplitude ph = eq ? same : diff;
+            scale_run(d + 2 * base, run, ph.real(), ph.imag());
+          }
+        },
+        std::max<std::size_t>(1, kParallelGrain >> lo_q));
+    return;
+  }
+  // min(a, b) < 3: the run structure is finer than a cache line. Bake the
+  // phase pattern of 8 consecutive amplitudes into tables (one per value of
+  // the high bit when it lies above the pattern, else a single periodic
+  // table) and stream branch-free.
+  const BasisState hibit = BasisState{1} << std::max(a, b);
+  double tbl[2][16];
+  for (int h = 0; h < 2; ++h) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      BasisState idx = j;
+      if (hibit >= 8 && h) idx |= hibit;  // high bit constant over the run
+      const bool eq = ((idx & abit) != 0) == ((idx & bbit) != 0);
+      const Amplitude ph = eq ? same : diff;
+      tbl[h][2 * j] = ph.real();
+      tbl[h][2 * j + 1] = ph.imag();
+    }
+  }
   util::parallel_for_chunks(
-      0, amps_.size(),
-      [this, abit, bbit, same, diff](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          const bool za = (i & abit) != 0;
-          const bool zb = (i & bbit) != 0;
-          amps_[i] *= (za == zb) ? same : diff;
+      0, amps_.size() >> 3,
+      [d, &tbl, hibit](std::size_t lo, std::size_t hi) {
+        for (std::size_t blk8 = lo; blk8 < hi; ++blk8) {
+          const BasisState base = static_cast<BasisState>(blk8) << 3;
+          const int h = (hibit >= 8 && (base & hibit)) ? 1 : 0;
+          const double* t = tbl[h];
+          double* p = d + 2 * base;
+          for (std::size_t j = 0; j < 16; j += 2) {
+            const double re = p[j];
+            const double im = p[j + 1];
+            p[j] = t[j] * re - t[j + 1] * im;
+            p[j + 1] = t[j] * im + t[j + 1] * re;
+          }
         }
       },
-      kParallelGrain);
+      kParallelGrain / 8);
+}
+
+void StateVector::apply_rx_layer(double theta) {
+  if (num_qubits_ == 0) return;
+  const double c = std::cos(theta * 0.5);
+  const double s = std::sin(theta * 0.5);
+  double* d = reinterpret_cast<double*>(amps_.data());
+
+  // Pass 1: the lowest B qubits, one cache-resident block at a time. Each
+  // block of 2^B contiguous amplitudes runs all B butterfly levels before
+  // the next block is loaded — one memory sweep applies B gates.
+  const int B = std::min(num_qubits_, kFusedBlockQubits);
+  const std::size_t blk = std::size_t{1} << B;
+  const std::size_t nblocks = amps_.size() >> B;
+  util::parallel_for_chunks(
+      0, nblocks,
+      [d, B, blk, c, s](std::size_t lo, std::size_t hi) {
+        for (std::size_t blki = lo; blki < hi; ++blki) {
+          double* p = d + 2 * blk * blki;
+          // Qubit 0: interleaved pairs, handled with explicit 4-double math.
+          for (std::size_t j = 0; j < 2 * blk; j += 4) {
+            const double a0r = p[j];
+            const double a0i = p[j + 1];
+            const double a1r = p[j + 2];
+            const double a1i = p[j + 3];
+            p[j] = c * a0r + s * a1i;
+            p[j + 1] = c * a0i - s * a1r;
+            p[j + 2] = c * a1r + s * a0i;
+            p[j + 3] = c * a1i - s * a0r;
+          }
+          for (int q = 1; q < B; ++q) {
+            const std::size_t stride = std::size_t{1} << q;
+            for (std::size_t base = 0; base < blk; base += 2 * stride) {
+              rx_butterfly_runs(p + 2 * base, p + 2 * (base + stride), stride,
+                                c, s);
+            }
+          }
+        }
+      },
+      std::max<std::size_t>(1, kParallelGrain >> B));
+
+  // Pass 2: the remaining high qubits, in groups of at most G. Viewing the
+  // vector as [2^(n-B) rows x 2^B cols], a group's butterflies act across
+  // rows; column tiles of W amplitudes keep the 2^g x W working set
+  // cache-resident for the whole group, so one sweep applies g gates.
+  const int high = num_qubits_ - B;
+  for (int j0 = 0; j0 < high; j0 += kFusedGroupQubits) {
+    const int g = std::min(kFusedGroupQubits, high - j0);
+    const std::size_t rows = std::size_t{1} << g;
+    const std::size_t others = (std::size_t{1} << high) >> g;
+    const std::size_t W = std::min(blk, kFusedColumnTile);
+    const std::size_t ntiles = blk / W;
+    util::parallel_for_chunks(
+        0, others * ntiles,
+        [d, blk, j0, g, rows, ntiles, W, c, s](std::size_t lo,
+                                               std::size_t hi) {
+          for (std::size_t u = lo; u < hi; ++u) {
+            const std::size_t o = u / ntiles;
+            const std::size_t col = (u % ntiles) * W;
+            // Row index with zeros spread in at the group's bit positions.
+            const std::size_t base_h =
+                ((o >> j0) << (j0 + g)) |
+                (o & ((std::size_t{1} << j0) - 1));
+            for (int k = 0; k < g; ++k) {
+              const std::size_t stride = std::size_t{1} << k;
+              for (std::size_t r0 = 0; r0 < rows; r0 += 2 * stride) {
+                for (std::size_t r = r0; r < r0 + stride; ++r) {
+                  const std::size_t h0 = base_h | (r << j0);
+                  const std::size_t h1 = base_h | ((r + stride) << j0);
+                  rx_butterfly_runs(d + 2 * (h0 * blk + col),
+                                    d + 2 * (h1 * blk + col), W, c, s);
+                }
+              }
+            }
+          }
+        },
+        1);
+  }
 }
 
 void StateVector::apply_diagonal_phase(const std::vector<double>& values,

@@ -48,6 +48,11 @@ class StateVector {
   void apply_y(int q);
   void apply_z(int q);
   void apply_rx(int q, double theta);  ///< exp(-i θ X/2)
+  /// Fused whole-layer mixer: RX(θ) on EVERY qubit in a few cache-blocked
+  /// passes over the state instead of n separate full sweeps. Equivalent to
+  /// `for (q = 0..n-1) apply_rx(q, θ)`; see DESIGN.md "Kernel index
+  /// enumeration".
+  void apply_rx_layer(double theta);
   void apply_ry(int q, double theta);  ///< exp(-i θ Y/2)
   void apply_rz(int q, double theta);  ///< exp(-i θ Z/2)
   void apply_phase(int q, double phi); ///< diag(1, e^{iφ})

@@ -78,19 +78,15 @@ void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
                          std::size_t grain) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
-  grain = std::max<std::size_t>(grain, 1);
 
-  // Nested parallel regions (e.g. a gate kernel invoked from a sub-graph
-  // task already running on the pool) execute serially: the outer level owns
-  // the cores.
-  if (pool.inside_worker() || pool.size() <= 1 || total <= grain) {
+  // plan_chunks returns 1 for nested parallel regions (e.g. a gate kernel
+  // invoked from a sub-graph task already running on the pool): the outer
+  // level owns the cores, so the inner one executes serially.
+  const std::size_t nchunks = detail::plan_chunks(pool, total, grain);
+  if (nchunks <= 1) {
     body(begin, end);
     return;
   }
-
-  const std::size_t max_chunks = pool.size() * 4;
-  const std::size_t nchunks =
-      std::min(max_chunks, (total + grain - 1) / grain);
   const std::size_t chunk = (total + nchunks - 1) / nchunks;
 
   std::vector<std::future<void>> futures;

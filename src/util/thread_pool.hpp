@@ -8,6 +8,7 @@
 // machine is never over-subscribed, mirroring how a SLURM allocation pins a
 // fixed set of cores.
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -70,6 +71,23 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+namespace detail {
+/// Shared chunking policy for parallel_for_chunks / parallel_reduce and any
+/// caller that needs the same fixed chunk boundaries across multiple passes
+/// (e.g. the sample_counts prefix sum): the number of chunks a range of
+/// `total` indices is split into on `pool` — 1 whenever the serial fallback
+/// applies (inside a worker, single-threaded pool, or range not worth
+/// splitting), otherwise at most 4 chunks per worker, each at least `grain`
+/// indices long.
+inline std::size_t plan_chunks(const ThreadPool& pool, std::size_t total,
+                               std::size_t grain) noexcept {
+  grain = std::max<std::size_t>(grain, 1);
+  if (pool.inside_worker() || pool.size() <= 1 || total <= grain) return 1;
+  const std::size_t max_chunks = pool.size() * 4;
+  return std::min(max_chunks, (total + grain - 1) / grain);
+}
+}  // namespace detail
+
 /// Evenly split [begin, end) across the pool and run body(i) for each index.
 /// Blocks until every index has been processed. Safe to call from inside a
 /// worker (runs serially in that case). `grain` caps the number of chunks:
@@ -84,6 +102,36 @@ void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& body,
                          std::size_t grain = 1024);
 
+/// Chunked parallel reduction. `chunk` maps a half-open range [lo, hi) to a
+/// partial value of type T; partials are folded left-to-right in chunk order
+/// with `combine(acc, partial)`, starting from `identity`. In-order folding
+/// keeps results bit-for-bit deterministic at a fixed thread count, which the
+/// test suite relies on. Safe to call from inside a worker (degrades to one
+/// serial chunk, like parallel_for_chunks).
+template <typename T, typename ChunkFn, typename CombineFn>
+T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  T identity, ChunkFn&& chunk, CombineFn&& combine,
+                  std::size_t grain = 1024) {
+  if (begin >= end) return identity;
+  const std::size_t total = end - begin;
+  const std::size_t nchunks = detail::plan_chunks(pool, total, grain);
+  if (nchunks <= 1) {
+    return combine(std::move(identity), chunk(begin, end));
+  }
+  const std::size_t len = (total + nchunks - 1) / nchunks;
+  std::vector<std::future<T>> futures;
+  futures.reserve(nchunks);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t lo = begin + c * len;
+    const std::size_t hi = std::min(end, lo + len);
+    if (lo >= hi) break;
+    futures.push_back(pool.submit([&chunk, lo, hi] { return chunk(lo, hi); }));
+  }
+  T acc = std::move(identity);
+  for (auto& f : futures) acc = combine(std::move(acc), f.get());
+  return acc;
+}
+
 /// Convenience wrappers over the global pool.
 inline void parallel_for(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t)>& body,
@@ -95,6 +143,14 @@ inline void parallel_for_chunks(
     const std::function<void(std::size_t, std::size_t)>& body,
     std::size_t grain = 1024) {
   parallel_for_chunks(ThreadPool::global(), begin, end, body, grain);
+}
+template <typename T, typename ChunkFn, typename CombineFn>
+T parallel_reduce(std::size_t begin, std::size_t end, T identity,
+                  ChunkFn&& chunk, CombineFn&& combine,
+                  std::size_t grain = 1024) {
+  return parallel_reduce(ThreadPool::global(), begin, end,
+                         std::move(identity), std::forward<ChunkFn>(chunk),
+                         std::forward<CombineFn>(combine), grain);
 }
 
 }  // namespace qq::util

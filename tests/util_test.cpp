@@ -7,6 +7,7 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <string>
 #include <thread>
 
 #include "util/cli.hpp"
@@ -232,6 +233,88 @@ TEST(ThreadPool, InsideWorkerDetection) {
   EXPECT_FALSE(pool.inside_worker());
   auto fut = pool.submit([&pool] { return pool.inside_worker(); });
   EXPECT_TRUE(fut.get());
+}
+
+// ---------------------------------------------------- parallel_reduce ----
+
+TEST(ParallelReduce, SumMatchesSerial) {
+  ThreadPool pool(6);
+  constexpr std::size_t n = 1 << 18;
+  const long long total = parallel_reduce(
+      pool, 0, n, 0LL,
+      [](std::size_t lo, std::size_t hi) {
+        long long partial = 0;
+        for (std::size_t i = lo; i < hi; ++i)
+          partial += static_cast<long long>(i);
+        return partial;
+      },
+      [](long long a, long long b) { return a + b; },
+      /*grain=*/1024);
+  const long long expected =
+      static_cast<long long>(n) * static_cast<long long>(n - 1) / 2;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  ThreadPool pool(2);
+  const int out = parallel_reduce(
+      pool, 7, 7, 123,
+      [](std::size_t, std::size_t) { return 999; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(out, 123);
+}
+
+TEST(ParallelReduce, CombinesChunksInAscendingOrder) {
+  // Non-commutative combine (string concatenation) exposes the fold order:
+  // chunk results must arrive left to right regardless of which worker
+  // finishes first.
+  ThreadPool pool(4);
+  constexpr std::size_t n = 64;
+  const std::string out = parallel_reduce(
+      pool, 0, n, std::string{},
+      [](std::size_t lo, std::size_t hi) {
+        std::string s;
+        for (std::size_t i = lo; i < hi; ++i) s += static_cast<char>('a' + i % 26);
+        return s;
+      },
+      [](std::string acc, std::string chunk) { return acc + chunk; },
+      /*grain=*/4);
+  std::string expected;
+  for (std::size_t i = 0; i < n; ++i)
+    expected += static_cast<char>('a' + i % 26);
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ParallelReduce, NestedInsideWorkerDegradesToSerial) {
+  ThreadPool pool(4);
+  auto fut = pool.submit([&pool] {
+    return parallel_reduce(
+        pool, 0, 1000, 0,
+        [](std::size_t lo, std::size_t hi) { return static_cast<int>(hi - lo); },
+        [](int a, int b) { return a + b; });
+  });
+  EXPECT_EQ(fut.get(), 1000);
+}
+
+TEST(ParallelReduce, DeterministicAcrossRunsAtFixedThreadCount) {
+  ThreadPool pool(3);
+  auto run = [&pool] {
+    return parallel_reduce(
+        pool, 0, 1 << 16, 0.0,
+        [](std::size_t lo, std::size_t hi) {
+          double partial = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            partial += 1.0 / (1.0 + static_cast<double>(i));
+          }
+          return partial;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double first = run();
+  for (int rep = 0; rep < 3; ++rep) {
+    const double again = run();
+    EXPECT_EQ(first, again);  // bit-for-bit, not just approximately
+  }
 }
 
 // ---------------------------------------------------------------- cli ----
