@@ -24,11 +24,19 @@ QaoaSolver::QaoaSolver(const graph::Graph& g)
 }
 
 sim::StateVector QaoaSolver::state(const circuit::QaoaAngles& angles) const {
+  sim::StateVector sv(graph_->num_nodes());
+  prepare_state(angles, sv);
+  return sv;
+}
+
+void QaoaSolver::prepare_state(const circuit::QaoaAngles& angles,
+                               sim::StateVector& sv) const {
   if (angles.gammas.size() != angles.betas.size()) {
     throw std::invalid_argument("QaoaSolver::state: layer mismatch");
   }
   const int n = graph_->num_nodes();
-  sim::StateVector sv = sim::StateVector::plus_state(n);
+  if (sv.num_qubits() != n) sv = sim::StateVector(n);
+  sv.reset_to_plus();
   for (std::size_t layer = 0; layer < angles.layers(); ++layer) {
     // Cost layer e^{-i gamma H_C}: one diagonal sweep over the cut table.
     sv.apply_diagonal_phase(cut_table_, angles.gammas[layer]);
@@ -36,23 +44,36 @@ sim::StateVector QaoaSolver::state(const circuit::QaoaAngles& angles) const {
     // cache-blocked pass instead of n separate sweeps.
     sv.apply_rx_layer(2.0 * angles.betas[layer]);
   }
-  return sv;
 }
 
 double QaoaSolver::expectation(const circuit::QaoaAngles& angles) const {
-  const sim::StateVector sv = state(angles);
-  return sim::expectation_diagonal(sv, cut_table_);
+  EvalWorkspace workspace(graph_->num_nodes());
+  return expectation(angles, workspace);
+}
+
+double QaoaSolver::expectation(const circuit::QaoaAngles& angles,
+                               EvalWorkspace& workspace) const {
+  prepare_state(angles, workspace.sv);
+  return sim::expectation_diagonal(workspace.sv, cut_table_);
 }
 
 double QaoaSolver::sampled_expectation(const circuit::QaoaAngles& angles,
                                        int shots, util::Rng& rng) const {
+  EvalWorkspace workspace(graph_->num_nodes());
+  return sampled_expectation(angles, shots, rng, workspace);
+}
+
+double QaoaSolver::sampled_expectation(const circuit::QaoaAngles& angles,
+                                       int shots, util::Rng& rng,
+                                       EvalWorkspace& workspace) const {
   if (shots < 1) {
     throw std::invalid_argument("sampled_expectation: shots must be >= 1");
   }
-  const sim::StateVector sv = state(angles);
-  const auto samples = sim::sample_counts(sv, shots, rng);
+  prepare_state(angles, workspace.sv);
+  sim::sample_counts_into(workspace.sv, shots, rng, workspace.cdf,
+                          workspace.samples);
   double sum = 0.0;
-  for (const sim::BasisState s : samples) sum += cut_table_[s];
+  for (const sim::BasisState s : workspace.samples) sum += cut_table_[s];
   return sum / static_cast<double>(shots);
 }
 
@@ -100,13 +121,18 @@ QaoaResult QaoaSolver::optimize(const QaoaOptions& options) const {
                          : paper_iteration_schedule(options.layers);
 
   util::Rng shot_rng(options.seed ^ 0x7357b1e55ed5eedULL);
+  // One workspace serves every objective evaluation AND the final
+  // extraction below: the 2^n state vector (and sampling scratch) is
+  // allocated once per optimize() instead of once per COBYLA iteration.
+  EvalWorkspace workspace(graph_->num_nodes());
   // Objective to MINIMIZE: -F_p (exact or shot-estimated).
-  const auto objective = [this, &options,
-                          &shot_rng](const std::vector<double>& params) {
+  const auto objective = [this, &options, &shot_rng,
+                          &workspace](const std::vector<double>& params) {
     const circuit::QaoaAngles angles = circuit::unpack_angles(params);
     return options.shot_based_objective
-               ? -sampled_expectation(angles, options.shots, shot_rng)
-               : -expectation(angles);
+               ? -sampled_expectation(angles, options.shots, shot_rng,
+                                      workspace)
+               : -expectation(angles, workspace);
   };
 
   const std::vector<double> x0 = initial_parameters(options);
@@ -130,7 +156,8 @@ QaoaResult QaoaSolver::optimize(const QaoaOptions& options) const {
   result.layers = options.layers;
 
   const circuit::QaoaAngles best_angles = circuit::unpack_angles(opt.x);
-  const sim::StateVector sv = state(best_angles);
+  prepare_state(best_angles, workspace.sv);
+  const sim::StateVector& sv = workspace.sv;
   result.expectation = sim::expectation_diagonal(sv, cut_table_);
 
   // Solution extraction. top_k == 1 is the paper's highest-amplitude rule;
@@ -150,7 +177,9 @@ QaoaResult QaoaSolver::optimize(const QaoaOptions& options) const {
   result.cut.value = chosen_value;
 
   if (options.shots > 0) {
-    const auto samples = sim::sample_counts(sv, options.shots, shot_rng);
+    sim::sample_counts_into(sv, options.shots, shot_rng, workspace.cdf,
+                            workspace.samples);
+    const auto& samples = workspace.samples;
     // Seed from the first sample, NOT 0.0: graphs whose every cut value is
     // negative (signed merge graphs, negative-weight edges) must report the
     // true best sample rather than a phantom 0.

@@ -75,6 +75,18 @@ int paper_iteration_schedule(int layers);
 /// (grid searches, restarts) share it.
 class QaoaSolver {
  public:
+  /// Reusable per-optimize evaluation scratch: the state vector plus the
+  /// sampling buffers. One workspace serves every objective evaluation of
+  /// an optimize() run, so the hot loop is allocation-free in steady state
+  /// (the old path constructed a fresh 2^n x 16 B vector, CDF, and shot
+  /// buffer per COBYLA iteration).
+  struct EvalWorkspace {
+    explicit EvalWorkspace(int num_qubits) : sv(num_qubits) {}
+    sim::StateVector sv;
+    std::vector<double> cdf;
+    std::vector<sim::BasisState> samples;
+  };
+
   explicit QaoaSolver(const graph::Graph& g);
 
   const graph::Graph& graph() const noexcept { return *graph_; }
@@ -86,12 +98,22 @@ class QaoaSolver {
   /// Prepare |psi_p(beta, gamma)> via the diagonal fast path.
   sim::StateVector state(const circuit::QaoaAngles& angles) const;
 
+  /// Workspace variant: reset `sv` to |+>^n in place and apply the layers.
+  /// `sv` is reconstructed only if its qubit count does not match the
+  /// graph's.
+  void prepare_state(const circuit::QaoaAngles& angles,
+                     sim::StateVector& sv) const;
+
   /// Exact <H_C> at the given angles.
   double expectation(const circuit::QaoaAngles& angles) const;
+  double expectation(const circuit::QaoaAngles& angles,
+                     EvalWorkspace& workspace) const;
 
   /// Shot-based estimate of <H_C>.
   double sampled_expectation(const circuit::QaoaAngles& angles, int shots,
                              util::Rng& rng) const;
+  double sampled_expectation(const circuit::QaoaAngles& angles, int shots,
+                             util::Rng& rng, EvalWorkspace& workspace) const;
 
   /// Full hybrid optimization loop.
   QaoaResult optimize(const QaoaOptions& options) const;

@@ -180,6 +180,9 @@ void Qaoa2Driver::solve_level(const graph::Graph& g, int level,
   const sched::BatchReport report = engine.run_batch(std::move(tasks));
   result.solve_seconds += report.busy_seconds;
   result.coordination_seconds += report.coordination_seconds;
+  for (const sched::TaskTiming& timing : report.timings) {
+    result.queue_wait_seconds += timing.wait_s;
+  }
 
   std::vector<maxcut::Assignment> locals(parts.size());
   for (std::size_t i = 0; i < parts.size(); ++i) {

@@ -69,6 +69,9 @@ struct Qaoa2Result {
   int classical_solves = 0;
   double solve_seconds = 0.0;         ///< wall time in sub-graph solvers
   double coordination_seconds = 0.0;  ///< engine overhead (Fig. 2 claim)
+  /// Σ per-task queue wait (slot wait + pool queueing) across every engine
+  /// batch — the time sub-solves spent ready-but-not-running.
+  double queue_wait_seconds = 0.0;
   std::vector<LevelStats> level_stats;
 };
 

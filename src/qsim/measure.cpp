@@ -73,19 +73,31 @@ std::vector<std::pair<BasisState, double>> top_k_states(const StateVector& sv,
 
 std::vector<BasisState> sample_counts(const StateVector& sv, int shots,
                                       util::Rng& rng) {
+  std::vector<double> cdf;
+  std::vector<BasisState> out;
+  sample_counts_into(sv, shots, rng, cdf, out);
+  return out;
+}
+
+void sample_counts_into(const StateVector& sv, int shots, util::Rng& rng,
+                        std::vector<double>& cdf,
+                        std::vector<BasisState>& out) {
   if (shots < 0) throw std::invalid_argument("sample_counts: negative shots");
-  if (shots == 0) return {};
+  out.clear();
+  if (shots == 0) return;
   const auto& amps = sv.data();
   const std::size_t n = amps.size();
 
   // Inclusive-prefix CDF of |amp|^2, built in two parallel passes over fixed
   // chunk boundaries: per-chunk probabilities + sums, serial scan of the
-  // chunk sums, then per-chunk prefix with the chunk's offset.
-  std::vector<double> cdf(n);
-  auto& pool = util::ThreadPool::global();
-  const std::size_t nchunks =
-      util::detail::plan_chunks(pool, n, kParallelGrain);
-  const std::size_t len = (n + nchunks - 1) / nchunks;
+  // chunk sums, then per-chunk prefix with the chunk's offset. The plan is
+  // pool-independent, so the CDF (and thus the sample stream at a fixed
+  // seed) is identical at any thread count.
+  cdf.resize(n);
+  const util::detail::ChunkPlan plan =
+      util::detail::plan_chunks(n, kParallelGrain);
+  const std::size_t nchunks = plan.count;
+  const std::size_t len = plan.len;
   std::vector<double> sums(nchunks, 0.0);
   util::parallel_for(
       0, nchunks,
@@ -129,7 +141,6 @@ std::vector<BasisState> sample_counts(const StateVector& sv, int shots,
   std::size_t last = n - 1;
   while (last > 0 && !(cdf[last] > cdf[last - 1])) --last;
 
-  std::vector<BasisState> out;
   out.reserve(static_cast<std::size_t>(shots));
   const auto begin = cdf.begin();
   const auto end_it = cdf.begin() + static_cast<std::ptrdiff_t>(last) + 1;
@@ -142,7 +153,6 @@ std::vector<BasisState> sample_counts(const StateVector& sv, int shots,
     out.push_back(std::min<BasisState>(
         static_cast<BasisState>(it - begin), static_cast<BasisState>(last)));
   }
-  return out;
 }
 
 std::vector<std::pair<BasisState, int>> histogram(

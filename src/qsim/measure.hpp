@@ -29,6 +29,14 @@ std::vector<std::pair<BasisState, double>> top_k_states(const StateVector& sv,
 std::vector<BasisState> sample_counts(const StateVector& sv, int shots,
                                       util::Rng& rng);
 
+/// Workspace variant of sample_counts: the CDF scratch and the output shot
+/// buffer are caller-owned and reused, so repeated sampling (the QAOA
+/// shot-based objective) is allocation-free in steady state. `out` is
+/// cleared and refilled; `cdf` is resized to 2^n on first use.
+void sample_counts_into(const StateVector& sv, int shots, util::Rng& rng,
+                        std::vector<double>& cdf,
+                        std::vector<BasisState>& out);
+
 /// Aggregate shot counts into (state, count) pairs sorted by count desc.
 std::vector<std::pair<BasisState, int>> histogram(
     const std::vector<BasisState>& shots);

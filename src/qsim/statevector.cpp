@@ -89,14 +89,18 @@ StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
 
 StateVector StateVector::plus_state(int num_qubits) {
   StateVector sv(num_qubits);
-  const double a = 1.0 / std::sqrt(static_cast<double>(sv.size()));
+  sv.reset_to_plus();
+  return sv;
+}
+
+void StateVector::reset_to_plus() {
+  const double a = 1.0 / std::sqrt(static_cast<double>(amps_.size()));
   util::parallel_for_chunks(
-      0, sv.size(),
-      [&sv, a](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) sv.amps_[i] = Amplitude{a, 0.0};
+      0, amps_.size(),
+      [this, a](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) amps_[i] = Amplitude{a, 0.0};
       },
       kParallelGrain);
-  return sv;
 }
 
 void StateVector::check_qubit(int q) const {

@@ -32,6 +32,12 @@ class StateVector {
   /// |+>^n — the QAOA ansatz input state (Eq. 2).
   static StateVector plus_state(int num_qubits);
 
+  /// In-place re-initialization to |+>^n without touching the allocation —
+  /// the workspace-reuse primitive: a QAOA objective evaluation resets its
+  /// persistent state vector instead of constructing a fresh 2^n x 16 B
+  /// buffer per COBYLA iteration.
+  void reset_to_plus();
+
   int num_qubits() const noexcept { return num_qubits_; }
   std::size_t size() const noexcept { return amps_.size(); }
 

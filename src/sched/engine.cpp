@@ -1,9 +1,14 @@
 #include "sched/engine.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <condition_variable>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <vector>
 
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -11,31 +16,9 @@
 namespace qq::sched {
 
 namespace {
-/// Counting semaphore with a plain mutex/condvar (portable, no C++20
-/// std::counting_semaphore template-arg ceiling games).
-class Slots {
- public:
-  explicit Slots(int count) : available_(count) {
-    if (count < 1) throw std::invalid_argument("Slots: count must be >= 1");
-  }
-  void acquire() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return available_ > 0; });
-    --available_;
-  }
-  void release() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++available_;
-    }
-    cv_.notify_one();
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  int available_;
-};
+constexpr int kind_index(ResourceKind kind) noexcept {
+  return kind == ResourceKind::kQuantum ? 0 : 1;
+}
 }  // namespace
 
 WorkflowEngine::WorkflowEngine(const EngineOptions& options)
@@ -45,56 +28,187 @@ WorkflowEngine::WorkflowEngine(const EngineOptions& options)
   }
 }
 
-BatchReport WorkflowEngine::run_batch(std::vector<Task> tasks) {
+BatchReport WorkflowEngine::run_batch(std::vector<Task> tasks,
+                                      std::exception_ptr* error_out) {
   BatchReport report;
-  report.timings.resize(tasks.size());
+  const std::size_t n = tasks.size();
+  report.timings.resize(n);
 
-  Slots quantum(options_.quantum_slots);
-  Slots classical(options_.classical_slots);
-  std::mutex mutex;
-  std::exception_ptr first_error;
+  // Coordinator state. Everything below lives on this frame; run_batch does
+  // not return until remaining == 0, so the closures handed to the pool
+  // never outlive it.
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::array<std::deque<std::size_t>, 2> ready;
+    std::array<int, 2> inflight{0, 0};
+    std::array<std::size_t, 2> task_count{0, 0};
+    std::array<double, 2> busy{0.0, 0.0};
+    /// Dispatched-but-not-yet-claimed tasks, coordinator-claimable; a task
+    /// is executed by whichever side (pool worker or waiting coordinator)
+    /// claims it first.
+    std::deque<std::size_t> dispatched;
+    std::size_t remaining = 0;
+    std::exception_ptr first_error;
+  } st;
+  st.remaining = n;
+
+  // Claim flags live on the heap, shared into every pool wrapper: a task
+  // the coordinator already ran inline leaves its wrapper behind as a
+  // no-op, and that wrapper may be popped AFTER run_batch returned — it
+  // must not touch this frame. A wrapper that WINS the claim implies its
+  // task has not completed yet, so the frame is still alive for run_task.
+  struct ClaimState {
+    std::mutex mutex;
+    std::vector<bool> claimed;
+  };
+  auto claim_state = std::make_shared<ClaimState>();
+  claim_state->claimed.assign(n, false);
+
   util::Timer clock;
-
-  auto& pool = util::ThreadPool::global();
-  std::vector<std::future<void>> futures;
-  futures.reserve(tasks.size());
-
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    const double submit = clock.seconds();
+  for (std::size_t i = 0; i < n; ++i) {
+    const int k = kind_index(tasks[i].kind);
     report.timings[i].task = i;
     report.timings[i].kind = tasks[i].kind;
-    report.timings[i].submit_s = submit;
-    futures.push_back(pool.submit([&, i] {
-      Slots& gate = tasks[i].kind == ResourceKind::kQuantum ? quantum
-                                                            : classical;
-      gate.acquire();
-      const double start = clock.seconds();
-      // A failing task must not leak its slot or abandon the batch while
-      // siblings still reference this frame; the first error is rethrown
-      // once everything has drained.
-      try {
-        tasks[i].work();
-      } catch (...) {
-        gate.release();
-        std::lock_guard<std::mutex> lock(mutex);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
-      const double end = clock.seconds();
-      gate.release();
-      std::lock_guard<std::mutex> lock(mutex);
-      report.timings[i].start_s = start;
-      report.timings[i].end_s = end;
-      report.busy_seconds += end - start;
-    }));
+    report.timings[i].submit_s = clock.seconds();
+    st.ready[k].push_back(i);
+    ++st.task_count[k];
   }
-  for (auto& f : futures) f.get();
-  if (first_error) std::rethrow_exception(first_error);
+
+  util::ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : util::ThreadPool::global();
+  const std::array<int, 2> caps = {options_.quantum_slots,
+                                   options_.classical_slots};
+
+  std::function<void(std::size_t)> run_task;
+
+  // Hand ready tasks of kind k to the pool while that kind has free slots.
+  // Called with st.mutex held. This replaces the old blocking semaphore:
+  // a task is only ever *submitted* once it holds its slot, so no pool
+  // thread can park in an acquire.
+  auto dispatch_locked = [&](int k) {
+    while (st.inflight[k] < caps[k] && !st.ready[k].empty()) {
+      const std::size_t i = st.ready[k].front();
+      st.ready[k].pop_front();
+      ++st.inflight[k];
+      st.dispatched.push_back(i);
+      // The wrapper touches ONLY claim_state until it wins the claim; a
+      // won claim implies the batch is still draining, so the frame (and
+      // run_task) is alive.
+      pool.submit([claim_state, &run_task, i] {
+        {
+          std::lock_guard<std::mutex> lock(claim_state->mutex);
+          if (claim_state->claimed[i]) return;
+          claim_state->claimed[i] = true;
+        }
+        run_task(i);
+      });
+    }
+  };
+
+  run_task = [&](std::size_t i) {
+    const int k = kind_index(tasks[i].kind);
+    const double start = clock.seconds();
+    std::exception_ptr err;
+    // A failing task must not abandon the batch while siblings still
+    // reference this frame; the first error is rethrown once everything
+    // has drained. Its timing and partial runtime are recorded like any
+    // other task's so the report stays accountable.
+    try {
+      tasks[i].work();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    const double end = clock.seconds();
+
+    std::lock_guard<std::mutex> lock(st.mutex);
+    TaskTiming& t = report.timings[i];
+    t.start_s = start;
+    t.end_s = end;
+    t.wait_s = start - t.submit_s;
+    t.failed = err != nullptr;
+    report.busy_seconds += end - start;
+    st.busy[k] += end - start;
+    if (err && !st.first_error) st.first_error = err;
+    --st.inflight[k];
+    --st.remaining;
+    // Slot handoff: release the slot and dispatch the next ready task of
+    // this kind in one step.
+    dispatch_locked(k);
+    if (st.remaining == 0) st.done_cv.notify_all();
+  };
+
+  {
+    std::unique_lock<std::mutex> lock(st.mutex);
+    dispatch_locked(0);
+    dispatch_locked(1);
+    while (st.remaining != 0) {
+      // Cooperative wait, restricted to work that belongs here: (1) THIS
+      // batch's dispatched-but-unclaimed tasks, run inline — which also
+      // guarantees progress when run_batch is issued from inside a pool
+      // worker or on a pool of one; (2) bounded kernel chunks from the
+      // pool's chunk queue. Foreign coarse tasks are never adopted, so the
+      // batch returns (and stops the wall clock) as soon as its own work
+      // drains.
+      std::size_t mine = n;  // n = none
+      while (!st.dispatched.empty()) {
+        const std::size_t i = st.dispatched.front();
+        st.dispatched.pop_front();
+        std::lock_guard<std::mutex> claim_lock(claim_state->mutex);
+        if (!claim_state->claimed[i]) {
+          claim_state->claimed[i] = true;
+          mine = i;
+          break;
+        }
+      }
+      if (mine != n) {
+        lock.unlock();
+        run_task(mine);
+        lock.lock();
+        continue;
+      }
+      lock.unlock();
+      const bool helped = pool.try_help_chunk();
+      lock.lock();
+      if (!helped && st.remaining != 0) {
+        st.done_cv.wait_for(lock, std::chrono::milliseconds(1), [&st] {
+          return st.remaining == 0;
+        });
+      }
+    }
+  }
+  if (error_out != nullptr) {
+    *error_out = st.first_error;
+  } else if (st.first_error) {
+    std::rethrow_exception(st.first_error);
+  }
 
   report.wall_seconds = clock.seconds();
-  const int slots = options_.quantum_slots + options_.classical_slots;
-  const double ideal =
-      report.busy_seconds / std::min<double>(slots, pool.size());
+  report.busy_quantum_seconds = st.busy[0];
+  report.busy_classical_seconds = st.busy[1];
+
+  // Ideal parallel time, per resource kind actually used: a kind's busy
+  // time cannot drain faster than its own slots (or the pool) allow, and
+  // the total cannot drain faster than the in-use slots / pool permit.
+  // Kinds with no tasks contribute nothing — their slots are unusable by
+  // the batch and must not dilute the estimate (the old formula divided an
+  // all-quantum batch by quantum_slots + classical_slots).
+  const double pool_width = static_cast<double>(std::max<std::size_t>(
+      std::size_t{1}, pool.size()));
+  double ideal = 0.0;
+  double busy_used = 0.0;
+  int slots_used = 0;
+  for (int k = 0; k < 2; ++k) {
+    if (st.task_count[k] == 0) continue;
+    ideal = std::max(ideal,
+                     st.busy[k] / std::min<double>(caps[k], pool_width));
+    busy_used += st.busy[k];
+    slots_used += caps[k];
+  }
+  if (slots_used > 0) {
+    ideal = std::max(ideal,
+                     busy_used / std::min<double>(slots_used, pool_width));
+  }
   report.coordination_seconds = std::max(0.0, report.wall_seconds - ideal);
   return report;
 }

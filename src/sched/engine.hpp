@@ -7,12 +7,25 @@
 //
 // Slot semantics mirror a SLURM allocation: at most `quantum_slots` tasks
 // tagged kQuantum run concurrently (the simulated QPUs) and at most
-// `classical_slots` tasks tagged kClassical (the CPU partition). Execution
-// itself rides on the process-wide thread pool.
+// `classical_slots` tasks tagged kClassical (the CPU partition).
+//
+// The engine is NON-BLOCKING: the coordinator keeps per-resource ready
+// queues and hands at most `slots` tasks of a kind to the thread pool at a
+// time; when a task finishes, its worker dispatches the next ready task of
+// that kind before returning to the pool. No pool thread ever parks waiting
+// for a slot (the old semaphore-per-kind design serialized whole batches by
+// parking workers behind a long quantum queue), and the coordinator itself
+// help-runs queued work while it waits, so a batch issued from inside a
+// pool worker — or on a pool of one — still completes.
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <vector>
+
+namespace qq::util {
+class ThreadPool;
+}  // namespace qq::util
 
 namespace qq::sched {
 
@@ -21,6 +34,10 @@ enum class ResourceKind { kQuantum, kClassical };
 struct EngineOptions {
   int quantum_slots = 2;
   int classical_slots = 4;
+  /// Pool the tasks execute on; nullptr selects ThreadPool::global().
+  /// Injectable so tests can pin a deterministic width regardless of
+  /// QQ_THREADS.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct Task {
@@ -32,17 +49,27 @@ struct Task {
 struct TaskTiming {
   std::size_t task = 0;
   ResourceKind kind = ResourceKind::kClassical;
-  double submit_s = 0.0;  ///< relative to batch start
-  double start_s = 0.0;
-  double end_s = 0.0;
+  double submit_s = 0.0;  ///< entry into the coordinator's ready queue,
+                          ///< relative to batch start
+  double start_s = 0.0;   ///< `work` began executing
+  double end_s = 0.0;     ///< `work` returned (or threw)
+  double wait_s = 0.0;    ///< start_s - submit_s: slot wait + pool queueing
+  bool failed = false;    ///< `work` exited via an exception
 };
 
 struct BatchReport {
   double wall_seconds = 0.0;
-  /// Σ task service times (inside `work`).
+  /// Σ task service times (inside `work`), including failed tasks' partial
+  /// runtimes.
   double busy_seconds = 0.0;
-  /// wall time minus the critical-path-equivalent estimate of useful work:
-  /// wall - busy/slots_used; the "coordination overhead is minimal" check.
+  double busy_quantum_seconds = 0.0;
+  double busy_classical_seconds = 0.0;
+  /// Wall time minus the ideal-parallel-time estimate of the useful work —
+  /// the "coordination overhead is minimal" check. The ideal is computed
+  /// per resource kind actually present in the batch (an all-quantum batch
+  /// is bounded by its quantum slots alone; classical slots it cannot use
+  /// must not inflate the divisor) and lower-bounded by total CPU demand
+  /// over the slots in use.
   double coordination_seconds = 0.0;
   std::vector<TaskTiming> timings;
 };
@@ -53,8 +80,15 @@ class WorkflowEngine {
 
   const EngineOptions& options() const noexcept { return options_; }
 
-  /// Run every task respecting the slot limits; blocks until all complete.
-  BatchReport run_batch(std::vector<Task> tasks);
+  /// Run every task respecting the slot limits; blocks until all complete
+  /// (cooperatively: the calling thread help-runs queued work while it
+  /// waits). If tasks throw, the batch still drains fully; the first
+  /// exception is rethrown — unless `error_out` is non-null, in which case
+  /// it is stored there and the report (including the failed tasks'
+  /// timings and partial runtimes) is returned normally. See
+  /// TaskTiming::failed for per-task outcomes.
+  BatchReport run_batch(std::vector<Task> tasks,
+                        std::exception_ptr* error_out = nullptr);
 
  private:
   EngineOptions options_;

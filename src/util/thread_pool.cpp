@@ -10,6 +10,8 @@ namespace qq::util {
 namespace {
 thread_local const ThreadPool* tls_owner = nullptr;
 
+std::atomic<std::uint64_t> g_chunk_tasks_executed{0};
+
 std::size_t resolve_thread_count(std::size_t requested) {
   if (requested != 0) return requested;
   if (const char* env = std::getenv("QQ_THREADS")) {
@@ -42,6 +44,10 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::inside_worker() const noexcept { return tls_owner == this; }
 
+std::uint64_t ThreadPool::chunk_tasks_executed() noexcept {
+  return g_chunk_tasks_executed.load(std::memory_order_relaxed);
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
@@ -50,16 +56,124 @@ ThreadPool& ThreadPool::global() {
 void ThreadPool::worker_loop(std::size_t /*index*/) {
   tls_owner = this;
   for (;;) {
+    ChunkTask chunk{nullptr, nullptr};
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
+      cv_.wait(lock, [this] {
+        return stop_ || !chunk_queue_.empty() || !queue_.empty();
+      });
+      // Chunk tasks first: they are sub-tasks of already-running work, so
+      // draining them bounds the latency of in-flight parallel regions.
+      if (!chunk_queue_.empty()) {
+        chunk = std::move(chunk_queue_.front());
+        chunk_queue_.pop_front();
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
+        return;  // stop_ set and both queues empty
+      }
+    }
+    if (chunk.group != nullptr) {
+      run_chunk_task(std::move(chunk));
+    } else {
+      task();
+    }
+  }
+}
+
+void ThreadPool::run_chunk_task(ChunkTask task) {
+  g_chunk_tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  std::exception_ptr err;
+  try {
+    task.fn();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  bool group_done = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TaskGroup& group = *task.group;
+    if (err && !group.error_) group.error_ = err;
+    group_done = --group.pending_ == 0;
+  }
+  // Wake the group's waiter (it sleeps on the shared pool cv when the chunk
+  // queue is empty and its tasks are running on other threads).
+  if (group_done) cv_.notify_all();
+}
+
+bool ThreadPool::try_help_chunk() {
+  ChunkTask chunk{nullptr, nullptr};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (chunk_queue_.empty()) return false;
+    chunk = std::move(chunk_queue_.front());
+    chunk_queue_.pop_front();
+  }
+  run_chunk_task(std::move(chunk));
+  return true;
+}
+
+bool ThreadPool::try_help_one() {
+  ChunkTask chunk{nullptr, nullptr};
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!chunk_queue_.empty()) {
+      chunk = std::move(chunk_queue_.front());
+      chunk_queue_.pop_front();
+    } else if (!queue_.empty()) {
       task = std::move(queue_.front());
       queue_.pop_front();
+    } else {
+      return false;
     }
+  }
+  if (chunk.group != nullptr) {
+    run_chunk_task(std::move(chunk));
+  } else {
     task();
   }
+  return true;
+}
+
+ThreadPool::TaskGroup::~TaskGroup() { drain(/*rethrow=*/false); }
+
+void ThreadPool::TaskGroup::run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(pool_->mutex_);
+    pool_->chunk_queue_.push_back(ChunkTask{std::move(fn), this});
+    ++pending_;
+  }
+  pool_->cv_.notify_one();
+}
+
+void ThreadPool::TaskGroup::wait() { drain(/*rethrow=*/true); }
+
+void ThreadPool::TaskGroup::drain(bool rethrow) {
+  std::unique_lock<std::mutex> lock(pool_->mutex_);
+  while (pending_ != 0) {
+    if (!pool_->chunk_queue_.empty()) {
+      ChunkTask task = std::move(pool_->chunk_queue_.front());
+      pool_->chunk_queue_.pop_front();
+      lock.unlock();
+      // Help with whatever chunk is next — ours or another group's. Chunk
+      // bodies are bounded (no blocking), so this always makes progress and
+      // cannot deadlock; helping another group's chunk just means finishing
+      // a sibling parallel region first.
+      pool_->run_chunk_task(std::move(task));
+      lock.lock();
+      continue;
+    }
+    pool_->cv_.wait(lock, [this] {
+      return pending_ == 0 || !pool_->chunk_queue_.empty();
+    });
+  }
+  std::exception_ptr err = error_;
+  error_ = nullptr;
+  lock.unlock();
+  if (rethrow && err) std::rethrow_exception(err);
 }
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
@@ -77,27 +191,26 @@ void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& body,
                          std::size_t grain) {
   if (begin >= end) return;
-  const std::size_t total = end - begin;
-
-  // plan_chunks returns 1 for nested parallel regions (e.g. a gate kernel
-  // invoked from a sub-graph task already running on the pool): the outer
-  // level owns the cores, so the inner one executes serially.
-  const std::size_t nchunks = detail::plan_chunks(pool, total, grain);
-  if (nchunks <= 1) {
+  const detail::ChunkPlan plan = detail::plan_chunks(end - begin, grain);
+  if (plan.count <= 1) {
     body(begin, end);
     return;
   }
-  const std::size_t chunk = (total + nchunks - 1) / nchunks;
-
-  std::vector<std::future<void>> futures;
-  futures.reserve(nchunks);
-  for (std::size_t c = 0; c < nchunks; ++c) {
-    const std::size_t lo = begin + c * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    futures.push_back(pool.submit([&body, lo, hi] { body(lo, hi); }));
+  auto eval = [&](std::size_t c) {
+    const std::size_t lo = begin + c * plan.len;
+    const std::size_t hi = std::min(end, lo + plan.len);
+    body(lo, hi);
+  };
+  if (pool.size() <= 1) {
+    for (std::size_t c = 0; c < plan.count; ++c) eval(c);
+    return;
   }
-  for (auto& f : futures) f.get();
+  ThreadPool::TaskGroup group(pool);
+  for (std::size_t c = 1; c < plan.count; ++c) {
+    group.run([&eval, c] { eval(c); });
+  }
+  eval(0);       // first chunk on the calling thread...
+  group.wait();  // ...then help drain the rest (cooperative nesting)
 }
 
 }  // namespace qq::util

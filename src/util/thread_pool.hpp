@@ -1,21 +1,39 @@
 #pragma once
-// Fixed-size thread pool with a shared task queue plus a blocking
-// parallel-for built on top of it.
+// Fixed-size thread pool with cooperative (work-helping) nested parallelism.
 //
 // This is the shared-memory analogue of the paper's MPI worker ranks: the
 // state-vector gate kernels, the grid-search sweeps, and the QAOA^2
 // sub-graph fan-out all execute through one process-wide pool so that the
 // machine is never over-subscribed, mirroring how a SLURM allocation pins a
 // fixed set of cores.
+//
+// Two kinds of work flow through the pool:
+//
+//  * submit() tasks — coarse, future-returning jobs (e.g. the workflow
+//    engine's sub-graph solves). Only pool workers (or an explicit
+//    try_help_one() caller that accepts running arbitrary foreign work
+//    inline) run these; the engine coordinator deliberately does NOT — it
+//    claims its own batch's tasks and otherwise helps only via
+//    try_help_chunk().
+//  * TaskGroup tasks — fine-grained chunks produced by parallel_for_chunks /
+//    parallel_reduce. Anybody may run these: pool workers drain them with
+//    priority, and a thread waiting on its own group *helps* by executing
+//    queued chunks (its own group's or another's) instead of blocking. A
+//    nested parallel region called from inside a worker therefore still
+//    fans out across the pool — there is no "inside a worker => serial"
+//    cliff, and no thread ever parks while chunk work is runnable.
 
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -53,82 +71,167 @@ class ThreadPool {
     return fut;
   }
 
-  /// True when called from one of this pool's worker threads. Used to make
-  /// nested parallel regions degrade gracefully to serial execution instead
-  /// of deadlocking.
+  /// A set of fine-grained tasks whose completion the owner waits for
+  /// cooperatively: wait() executes queued chunk tasks (any group's) while
+  /// the group drains instead of blocking the calling thread. This is what
+  /// makes nested parallel regions safe AND parallel — a worker that opens
+  /// a group inside a task helps run the very chunks it enqueued.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool& pool) noexcept : pool_(&pool) {}
+    /// Drains remaining tasks (without rethrowing) if wait() was skipped,
+    /// so chunk closures never outlive the frame that owns their captures.
+    ~TaskGroup();
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Enqueue one chunk task.
+    void run(std::function<void()> fn);
+
+    /// Help-run queued chunk tasks until every task of THIS group has
+    /// finished, then rethrow the group's first exception (if any).
+    void wait();
+
+   private:
+    friend class ThreadPool;
+    void drain(bool rethrow);
+
+    ThreadPool* pool_;
+    std::size_t pending_ = 0;     ///< guarded by pool_->mutex_
+    std::exception_ptr error_;    ///< first failure, guarded by pool_->mutex_
+  };
+
+  /// Run one queued task if any is available — chunk tasks first, then
+  /// submitted tasks. Returns whether something was executed. Note that the
+  /// submitted task picked up may be ANY queued work, so only call this
+  /// when executing arbitrary foreign tasks inline is acceptable.
+  bool try_help_one();
+
+  /// Run one queued CHUNK task if any is available (never a coarse
+  /// submitted task). Chunk bodies are bounded, so this is safe in waits
+  /// that must not adopt foreign long-running work — the engine
+  /// coordinator's wait loop uses it.
+  bool try_help_chunk();
+
+  /// True when called from one of this pool's worker threads. Nested
+  /// parallel regions no longer serialize on this — it remains for
+  /// diagnostics and tests.
   bool inside_worker() const noexcept;
+
+  /// Process-wide count of TaskGroup (chunk) tasks executed, across all
+  /// pools. Monotonic; a cheap observability hook used by tests and
+  /// bench_micro_engine to verify that nested kernels actually split.
+  static std::uint64_t chunk_tasks_executed() noexcept;
 
   /// Process-wide pool (lazily constructed, sized by QQ_THREADS).
   static ThreadPool& global();
 
  private:
+  struct ChunkTask {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
   void worker_loop(std::size_t index);
+  /// Execute a chunk task and do its completion bookkeeping (error capture,
+  /// pending decrement, waiter wake-up).
+  void run_chunk_task(ChunkTask task);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
+  std::deque<ChunkTask> chunk_queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };
 
 namespace detail {
-/// Shared chunking policy for parallel_for_chunks / parallel_reduce and any
-/// caller that needs the same fixed chunk boundaries across multiple passes
-/// (e.g. the sample_counts prefix sum): the number of chunks a range of
-/// `total` indices is split into on `pool` — 1 whenever the serial fallback
-/// applies (inside a worker, single-threaded pool, or range not worth
-/// splitting), otherwise at most 4 chunks per worker, each at least `grain`
-/// indices long.
-inline std::size_t plan_chunks(const ThreadPool& pool, std::size_t total,
-                               std::size_t grain) noexcept {
+/// Fixed chunk geometry shared by parallel_for_chunks / parallel_reduce and
+/// any caller that needs identical boundaries across multiple passes (the
+/// sample_counts prefix sum). `count` chunks of `len` indices each (the
+/// last chunk may be shorter) cover a range of `total`.
+struct ChunkPlan {
+  std::size_t count = 0;
+  std::size_t len = 0;
+};
+
+/// The chunk plan is a pure function of (total, grain) — deliberately
+/// independent of pool size and of whether the caller is nested inside a
+/// worker. Fixed boundaries mean parallel_reduce's in-order fold groups
+/// floating-point operations identically everywhere, so results are
+/// bit-for-bit reproducible across thread counts, nesting depth, and
+/// scheduling (the old plan depended on pool.size() and collapsed to one
+/// chunk inside workers, so nested results differed from top-level ones).
+/// kMaxChunks = 64 bounds dispatch overhead while giving an 8-thread pool
+/// 8x oversubscription for load balancing.
+inline ChunkPlan plan_chunks(std::size_t total, std::size_t grain) noexcept {
   grain = std::max<std::size_t>(grain, 1);
-  if (pool.inside_worker() || pool.size() <= 1 || total <= grain) return 1;
-  const std::size_t max_chunks = pool.size() * 4;
-  return std::min(max_chunks, (total + grain - 1) / grain);
+  if (total == 0) return {0, 0};
+  if (total <= grain) return {1, total};
+  constexpr std::size_t kMaxChunks = 64;
+  std::size_t count = std::min(kMaxChunks, (total + grain - 1) / grain);
+  const std::size_t len = (total + count - 1) / count;
+  count = (total + len - 1) / len;
+  return {count, len};
 }
 }  // namespace detail
 
 /// Evenly split [begin, end) across the pool and run body(i) for each index.
 /// Blocks until every index has been processed. Safe to call from inside a
-/// worker (runs serially in that case). `grain` caps the number of chunks:
-/// chunks are at least `grain` indices long.
+/// worker: the chunks are enqueued on the pool and the caller helps drain
+/// them (cooperative nesting), so the region still runs in parallel.
+/// `grain` caps the number of chunks: chunks are at least `grain` indices
+/// long. Exceptions from `body` propagate to the caller (first one wins).
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain = 1);
 
 /// Chunked variant: body receives [chunk_begin, chunk_end) and may vectorize
-/// over it. This is what the state-vector kernels use.
+/// over it. This is what the state-vector kernels use. The body is invoked
+/// exactly plan_chunks(end - begin, grain).count times with the planned
+/// boundaries regardless of pool size or nesting.
 void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& body,
                          std::size_t grain = 1024);
 
 /// Chunked parallel reduction. `chunk` maps a half-open range [lo, hi) to a
 /// partial value of type T; partials are folded left-to-right in chunk order
-/// with `combine(acc, partial)`, starting from `identity`. In-order folding
-/// keeps results bit-for-bit deterministic at a fixed thread count, which the
-/// test suite relies on. Safe to call from inside a worker (degrades to one
-/// serial chunk, like parallel_for_chunks).
+/// with `combine(acc, partial)`, starting from `identity`. Chunk boundaries
+/// come from detail::plan_chunks, which ignores pool size and nesting, so
+/// the fold is bit-for-bit deterministic across thread counts and across
+/// top-level vs nested invocation — the test suite relies on this. Safe to
+/// call from inside a worker (the caller helps drain its own chunks).
 template <typename T, typename ChunkFn, typename CombineFn>
 T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
                   T identity, ChunkFn&& chunk, CombineFn&& combine,
                   std::size_t grain = 1024) {
   if (begin >= end) return identity;
-  const std::size_t total = end - begin;
-  const std::size_t nchunks = detail::plan_chunks(pool, total, grain);
-  if (nchunks <= 1) {
+  const detail::ChunkPlan plan = detail::plan_chunks(end - begin, grain);
+  if (plan.count <= 1) {
     return combine(std::move(identity), chunk(begin, end));
   }
-  const std::size_t len = (total + nchunks - 1) / nchunks;
-  std::vector<std::future<T>> futures;
-  futures.reserve(nchunks);
-  for (std::size_t c = 0; c < nchunks; ++c) {
-    const std::size_t lo = begin + c * len;
-    const std::size_t hi = std::min(end, lo + len);
-    if (lo >= hi) break;
-    futures.push_back(pool.submit([&chunk, lo, hi] { return chunk(lo, hi); }));
+  std::vector<std::optional<T>> partials(plan.count);
+  auto eval = [&](std::size_t c) {
+    const std::size_t lo = begin + c * plan.len;
+    const std::size_t hi = std::min(end, lo + plan.len);
+    partials[c].emplace(chunk(lo, hi));
+  };
+  if (pool.size() <= 1) {
+    // A one-thread pool gains nothing from dispatch; same boundaries, same
+    // fold, executed inline.
+    for (std::size_t c = 0; c < plan.count; ++c) eval(c);
+  } else {
+    ThreadPool::TaskGroup group(pool);
+    for (std::size_t c = 1; c < plan.count; ++c) {
+      group.run([&eval, c] { eval(c); });
+    }
+    eval(0);       // the caller computes the first chunk itself...
+    group.wait();  // ...then helps drain the rest instead of blocking
   }
   T acc = std::move(identity);
-  for (auto& f : futures) acc = combine(std::move(acc), f.get());
+  for (std::size_t c = 0; c < plan.count; ++c) {
+    acc = combine(std::move(acc), std::move(*partials[c]));
+  }
   return acc;
 }
 

@@ -230,6 +230,66 @@ TEST(Optimize, TopKNeverWorseThanTopOne) {
   EXPECT_GE(vk, v1 - 1e-12) << "top-k scan (paper section 5) cannot hurt";
 }
 
+TEST(Workspace, ReusedStateMatchesFreshConstruction) {
+  // One EvalWorkspace across many evaluations (what optimize() does) must
+  // reproduce the fresh-allocation path bit for bit, including after the
+  // workspace held a state for DIFFERENT angles.
+  util::Rng rng(31);
+  const Graph g = graph::erdos_renyi(8, 0.4, rng);
+  const QaoaSolver solver(g);
+  QaoaSolver::EvalWorkspace workspace(g.num_nodes());
+
+  circuit::QaoaAngles a, b;
+  a.gammas = {0.3, 0.5};
+  a.betas = {0.2, 0.1};
+  b.gammas = {0.9, 0.05};
+  b.betas = {0.4, 0.7};
+  for (const auto* angles : {&a, &b, &a}) {
+    const double reused = solver.expectation(*angles, workspace);
+    EXPECT_EQ(reused, solver.expectation(*angles));
+    const sim::StateVector fresh = solver.state(*angles);
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ(workspace.sv.amplitude(i), fresh.amplitude(i));
+    }
+  }
+}
+
+TEST(Workspace, SampledExpectationMatchesAllocatingPath) {
+  util::Rng rng(32);
+  const Graph g = graph::erdos_renyi(8, 0.4, rng);
+  const QaoaSolver solver(g);
+  circuit::QaoaAngles angles;
+  angles.gammas = {0.45};
+  angles.betas = {0.35};
+  QaoaSolver::EvalWorkspace workspace(g.num_nodes());
+  util::Rng shots_a(77), shots_b(77);
+  const double reused =
+      solver.sampled_expectation(angles, 256, shots_a, workspace);
+  const double fresh = solver.sampled_expectation(angles, 256, shots_b);
+  EXPECT_EQ(reused, fresh);
+  // Second use of the same (now dirty) workspace, with both rng streams
+  // advanced identically: stale CDF/shot-buffer contents must not leak
+  // into the estimate.
+  const double again =
+      solver.sampled_expectation(angles, 256, shots_a, workspace);
+  const double fresh_again = solver.sampled_expectation(angles, 256, shots_b);
+  EXPECT_EQ(again, fresh_again);
+}
+
+TEST(Workspace, AdaptsToDifferentQubitCount) {
+  util::Rng rng(33);
+  const Graph g = graph::erdos_renyi(6, 0.5, rng);
+  const QaoaSolver solver(g);
+  circuit::QaoaAngles angles;
+  angles.gammas = {0.3};
+  angles.betas = {0.2};
+  // Deliberately wrong-sized workspace: prepare_state must resize it.
+  QaoaSolver::EvalWorkspace workspace(3);
+  const double got = solver.expectation(angles, workspace);
+  EXPECT_EQ(workspace.sv.num_qubits(), 6);
+  EXPECT_EQ(got, solver.expectation(angles));
+}
+
 TEST(Optimize, DeterministicPerSeed) {
   util::Rng rng(15);
   const Graph g = graph::erdos_renyi(9, 0.35, rng);

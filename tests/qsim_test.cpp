@@ -136,6 +136,21 @@ TEST(StateVector, PlusStateIsUniform) {
   }
 }
 
+TEST(StateVector, ResetToPlusMatchesPlusStateBitForBit) {
+  // The workspace-reuse primitive: an arbitrarily mangled state reset in
+  // place must equal a freshly constructed |+>^n exactly.
+  StateVector sv(5);
+  sv.apply_h(0);
+  sv.apply_rx(3, 0.7);
+  sv.apply_rzz(1, 4, 1.1);
+  sv.reset_to_plus();
+  const StateVector fresh = StateVector::plus_state(5);
+  ASSERT_EQ(sv.size(), fresh.size());
+  for (std::size_t i = 0; i < sv.size(); ++i) {
+    EXPECT_EQ(sv.amplitude(i), fresh.amplitude(i));
+  }
+}
+
 TEST(StateVector, RejectsBadQubitCounts) {
   EXPECT_THROW(StateVector(-1), std::invalid_argument);
   EXPECT_THROW(StateVector(kMaxQubits + 1), std::invalid_argument);

@@ -3,13 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <set>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "sched/des.hpp"
 #include "sched/engine.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qq::sched {
 namespace {
@@ -282,6 +286,165 @@ TEST(Engine, TimingsAreOrderedAndBusyAccumulates) {
     EXPECT_LE(t.submit_s, t.start_s + 1e-9);
     EXPECT_LE(t.start_s, t.end_s + 1e-9);
   }
+}
+
+TEST(Engine, ThrowingTaskIsFullyAccounted) {
+  // A failing task must still be timed: start_s/end_s recorded, its partial
+  // runtime included in busy_seconds, and the first exception rethrown
+  // after the batch drains.
+  WorkflowEngine engine(EngineOptions{1, 2});
+  std::vector<Task> tasks;
+  tasks.push_back({ResourceKind::kClassical, [] {
+                     std::this_thread::sleep_for(
+                         std::chrono::milliseconds(10));
+                   }});
+  tasks.push_back({ResourceKind::kClassical, [] {
+                     std::this_thread::sleep_for(
+                         std::chrono::milliseconds(10));
+                     throw std::runtime_error("task failed");
+                   }});
+  tasks.push_back({ResourceKind::kClassical, [] {
+                     std::this_thread::sleep_for(
+                         std::chrono::milliseconds(10));
+                   }});
+  std::exception_ptr error;
+  const BatchReport report = engine.run_batch(std::move(tasks), &error);
+  ASSERT_TRUE(error != nullptr);
+  EXPECT_THROW(std::rethrow_exception(error), std::runtime_error);
+  ASSERT_EQ(report.timings.size(), 3u);
+  const TaskTiming& failed = report.timings[1];
+  EXPECT_TRUE(failed.failed);
+  EXPECT_FALSE(report.timings[0].failed);
+  EXPECT_FALSE(report.timings[2].failed);
+  // The old engine left the throwing task's start_s/end_s zeroed and its
+  // runtime out of busy_seconds.
+  EXPECT_GT(failed.start_s, 0.0);
+  EXPECT_GE(failed.end_s - failed.start_s, 0.008);
+  EXPECT_GE(report.busy_seconds, 3 * 0.008);
+  for (const TaskTiming& t : report.timings) {
+    EXPECT_GE(t.wait_s, 0.0);
+    EXPECT_NEAR(t.wait_s, t.start_s - t.submit_s, 1e-12);
+  }
+}
+
+TEST(Engine, RecordsQueueWaitBehindSlots) {
+  // One classical slot, three sleeping tasks: each successor waits for its
+  // predecessor's slot, so recorded queue waits must stack roughly one
+  // service time apart.
+  WorkflowEngine engine(EngineOptions{1, 1});
+  std::vector<Task> tasks;
+  for (int i = 0; i < 3; ++i) {
+    tasks.push_back({ResourceKind::kClassical, [] {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(20));
+                     }});
+  }
+  const BatchReport report = engine.run_batch(std::move(tasks));
+  std::vector<double> waits;
+  for (const TaskTiming& t : report.timings) waits.push_back(t.wait_s);
+  std::sort(waits.begin(), waits.end());
+  // Relative stacking (load-robust): each successor waits at least one
+  // predecessor service time (>= 20 ms sleep) longer than the task before
+  // it, whatever the ambient dispatch latency is.
+  EXPECT_GE(waits[1], waits[0] + 0.015);
+  EXPECT_GE(waits[2], waits[1] + 0.015);
+}
+
+TEST(Engine, CoordinationIdealUsesOnlyResourceKindsPresent) {
+  // All-quantum batch on 2 quantum slots, with a large classical allotment
+  // the batch can never use. The old divisor min(q+c, pool) pretended the
+  // classical slots could drain quantum work, skewing the ideal-time
+  // estimate and misattributing real slot queueing to "coordination". The
+  // per-kind ideal makes a clean sleep batch report near-zero overhead.
+  util::ThreadPool pool(4);
+  EngineOptions opts;
+  opts.quantum_slots = 2;
+  opts.classical_slots = 64;
+  opts.pool = &pool;
+  WorkflowEngine engine(opts);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back({ResourceKind::kQuantum, [] {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(10));
+                     }});
+  }
+  const BatchReport report = engine.run_batch(std::move(tasks));
+  EXPECT_GT(report.busy_quantum_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(report.busy_classical_seconds, 0.0);
+  // busy ~= 80 ms over the 2 USABLE slots -> ideal = busy/2. The old
+  // formula divided by min(66, 4) = 4, calling ~20 ms of real slot
+  // queueing "coordination"; this exact-formula pin fails against it.
+  const double ideal = report.busy_seconds / 2.0;
+  EXPECT_NEAR(report.coordination_seconds,
+              std::max(0.0, report.wall_seconds - ideal), 1e-9);
+}
+
+TEST(Engine, WorkersAreNotParkedBehindTheSlotQueue) {
+  // 4 quantum sleeps on ONE quantum slot, submitted ahead of 4 classical
+  // sleeps. The old engine parked both pool workers in the quantum
+  // semaphore, serializing the phases (~280 ms on this shape); the
+  // non-blocking engine overlaps them, so wall stays near the quantum
+  // makespan.
+  util::ThreadPool pool(2);
+  EngineOptions opts;
+  opts.quantum_slots = 1;
+  opts.classical_slots = 4;
+  opts.pool = &pool;
+  WorkflowEngine engine(opts);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back({ResourceKind::kQuantum, [] {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(40));
+                     }});
+  }
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back({ResourceKind::kClassical, [] {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(40));
+                     }});
+  }
+  const BatchReport report = engine.run_batch(std::move(tasks));
+  EXPECT_GE(report.wall_seconds, 0.16);  // quantum makespan floor
+  // Load-robust discriminator: with non-blocking dispatch, classical work
+  // begins while the quantum queue is still draining — the first classical
+  // task starts before the SECOND quantum task does. The old engine's
+  // parked workers pushed every classical start past the third quantum
+  // task's completion (~120 ms in).
+  double first_classical_start = 1e300;
+  std::vector<double> quantum_starts;
+  for (const TaskTiming& t : report.timings) {
+    if (t.kind == ResourceKind::kClassical) {
+      first_classical_start = std::min(first_classical_start, t.start_s);
+    } else {
+      quantum_starts.push_back(t.start_s);
+    }
+  }
+  std::sort(quantum_starts.begin(), quantum_starts.end());
+  ASSERT_EQ(quantum_starts.size(), 4u);
+  EXPECT_LT(first_classical_start, quantum_starts[1]);
+}
+
+TEST(Engine, RunBatchFromInsidePoolWorkerCompletes) {
+  // Pathological but must not deadlock: the coordinator itself runs on a
+  // pool worker (even a pool of ONE) and help-runs its own batch.
+  util::ThreadPool pool(1);
+  EngineOptions opts;
+  opts.pool = &pool;
+  std::atomic<int> runs{0};
+  auto fut = pool.submit([&] {
+    WorkflowEngine engine(opts);
+    std::vector<Task> tasks;
+    for (int i = 0; i < 6; ++i) {
+      tasks.push_back({i % 2 == 0 ? ResourceKind::kQuantum
+                                  : ResourceKind::kClassical,
+                       [&runs] { runs++; }});
+    }
+    return engine.run_batch(std::move(tasks)).timings.size();
+  });
+  EXPECT_EQ(fut.get(), 6u);
+  EXPECT_EQ(runs.load(), 6);
 }
 
 TEST(Engine, OptionValidation) {

@@ -208,17 +208,104 @@ TEST(ThreadPool, ParallelForChunksSumMatchesSerial) {
   EXPECT_EQ(total.load(), expected);
 }
 
-TEST(ThreadPool, NestedParallelForDegradesToSerial) {
+TEST(ThreadPool, NestedParallelForCompletesWithoutDeadlock) {
   ThreadPool pool(4);
   std::atomic<int> outer{0};
   std::atomic<int> inner{0};
   parallel_for(pool, 0, 8, [&](std::size_t) {
     outer++;
-    // Nested region must complete (serially) instead of deadlocking.
+    // Nested region must complete (cooperatively, callers helping drain
+    // the chunk queue) instead of deadlocking.
     parallel_for(pool, 0, 16, [&](std::size_t) { inner++; });
   });
   EXPECT_EQ(outer.load(), 8);
   EXPECT_EQ(inner.load(), 8 * 16);
+}
+
+TEST(ThreadPool, NestedParallelForStillSplitsIntoChunks) {
+  // The regression the cooperative rework fixes: a parallel region entered
+  // from inside a worker used to collapse to ONE serial chunk. The chunk
+  // plan is now independent of nesting, so the body must be invoked once
+  // per planned chunk even inside a worker.
+  ThreadPool pool(4);
+  constexpr std::size_t n = 1 << 16;
+  constexpr std::size_t grain = 1 << 10;
+  const std::size_t expected = detail::plan_chunks(n, grain).count;
+  ASSERT_GT(expected, 1u);
+
+  std::atomic<std::size_t> chunk_calls{0};
+  std::atomic<std::size_t> covered{0};
+  auto fut = pool.submit([&] {
+    parallel_for_chunks(
+        pool, 0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          chunk_calls++;
+          covered += hi - lo;
+        },
+        grain);
+  });
+  fut.get();
+  EXPECT_EQ(chunk_calls.load(), expected);
+  EXPECT_EQ(covered.load(), n);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  ThreadPool pool(4);
+  const auto run = [&pool] {
+    parallel_for(
+        pool, 0, 1 << 12,
+        [](std::size_t i) {
+          if (i == 2000) throw std::runtime_error("body failed");
+        },
+        /*grain=*/16);
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  // Nested: the failure crosses the worker boundary too.
+  auto fut = pool.submit([&run] {
+    try {
+      run();
+    } catch (const std::runtime_error&) {
+      return true;
+    }
+    return false;
+  });
+  EXPECT_TRUE(fut.get());
+}
+
+TEST(ThreadPool, TaskGroupRunsEverythingAndReportsFirstError) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  ThreadPool::TaskGroup group(pool);
+  for (int i = 0; i < 32; ++i) {
+    group.run([&ran, i] {
+      ran++;
+      if (i == 7) throw std::logic_error("chunk 7");
+    });
+  }
+  EXPECT_THROW(group.wait(), std::logic_error);
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, TryHelpOneExecutesQueuedWork) {
+  ThreadPool pool(1);
+  // Saturate the single worker so the submitted probe stays queued, then
+  // help from this thread — the primitive the engine's coordinator uses.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  auto blocker = pool.submit([&started, &release] {
+    started = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Make sure the worker owns the blocker before queueing the probe, so
+  // try_help_one below can only ever pick up the probe.
+  while (!started.load()) std::this_thread::yield();
+  std::atomic<bool> probe_ran{false};
+  auto probe = pool.submit([&probe_ran] { probe_ran = true; });
+  while (!pool.try_help_one()) std::this_thread::yield();
+  EXPECT_TRUE(probe_ran.load());
+  release = true;
+  blocker.get();
+  probe.get();
 }
 
 TEST(ThreadPool, EmptyRangeIsNoop) {
@@ -285,7 +372,7 @@ TEST(ParallelReduce, CombinesChunksInAscendingOrder) {
   EXPECT_EQ(out, expected);
 }
 
-TEST(ParallelReduce, NestedInsideWorkerDegradesToSerial) {
+TEST(ParallelReduce, NestedInsideWorkerStillReduces) {
   ThreadPool pool(4);
   auto fut = pool.submit([&pool] {
     return parallel_reduce(
@@ -294,6 +381,31 @@ TEST(ParallelReduce, NestedInsideWorkerDegradesToSerial) {
         [](int a, int b) { return a + b; });
   });
   EXPECT_EQ(fut.get(), 1000);
+}
+
+TEST(ParallelReduce, BitForBitIdenticalAcrossPoolSizesAndNesting) {
+  // The chunk plan ignores pool size and nesting, so the in-order fold
+  // groups floating-point additions identically everywhere: a 1-thread
+  // pool, an 8-thread pool, and a nested call inside a worker must agree
+  // bit for bit (the QAOA^2 determinism pin relies on this).
+  const auto run = [](ThreadPool& pool) {
+    return parallel_reduce(
+        pool, 0, 1 << 16, 0.0,
+        [](std::size_t lo, std::size_t hi) {
+          double partial = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            partial += 1.0 / (1.0 + static_cast<double>(i));
+          }
+          return partial;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  ThreadPool one(1), three(3), eight(8);
+  const double expected = run(one);
+  EXPECT_EQ(run(three), expected);
+  EXPECT_EQ(run(eight), expected);
+  auto nested = eight.submit([&run, &eight] { return run(eight); });
+  EXPECT_EQ(nested.get(), expected);
 }
 
 TEST(ParallelReduce, DeterministicAcrossRunsAtFixedThreadCount) {
