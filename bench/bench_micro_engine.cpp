@@ -17,6 +17,16 @@
 //                   measure of the inside_worker() serialization cliff.
 //   alloc_churn     Bytes allocated per COBYLA objective evaluation during
 //                   QaoaSolver::optimize (state-vector workspace reuse).
+//   streamed_components
+//                   Four component-like chains (quantum leaves -> classical
+//                   merge -> quantum coarse solve) with skewed leaf counts,
+//                   run once as per-level run_batch barriers and once as a
+//                   dependency-streamed task graph on the persistent
+//                   engine. Sleeps model device latency, so the overlap win
+//                   is measurable even on one core; the coarse-before-last-
+//                   leaf count proves cross-level overlap structurally.
+//   qaoa2_streaming Real QAOA^2 on a 4-component graph, level-barrier vs
+//                   streaming pipeline (identical cuts by construction).
 //
 //   ./bench_micro_engine [--reps 5] [--threads 8] [--quick]
 //
@@ -33,6 +43,7 @@
 #include <vector>
 
 #include "qaoa/qaoa.hpp"
+#include "qaoa2/qaoa2.hpp"
 #include "qgraph/generators.hpp"
 #include "sched/engine.hpp"
 #include "util/cli.hpp"
@@ -232,6 +243,170 @@ NestedResult run_nested_kernel(int reps, int layers) {
   return out;
 }
 
+// ----------------------------------------------------- streamed components --
+struct StreamedResult {
+  double barrier_wall_s = 0.0;
+  double streaming_wall_s = 0.0;
+  /// Coarse tasks that STARTED before the last leaf task ended — always 0
+  /// under per-level barriers, > 0 once levels stream.
+  int overlapped_coarse = 0;
+  int tasks = 0;
+};
+
+StreamedResult run_streamed_components(int reps) {
+  using qq::sched::TaskHandle;
+  // Chain c: leaves[c] quantum leaves (8 ms device latency), one classical
+  // merge (20 ms — the phase that idles the quantum slots at a level
+  // barrier), one quantum coarse solve (12 ms). Chain 0 is the skewed slow
+  // component.
+  const std::vector<int> leaves = {12, 2, 2, 2};
+  constexpr auto kLeafLatency = std::chrono::milliseconds(8);
+  constexpr auto kMergeLatency = std::chrono::milliseconds(20);
+  constexpr auto kCoarseLatency = std::chrono::milliseconds(12);
+  auto sleep_task = [](std::chrono::milliseconds ms, qq::sched::ResourceKind k) {
+    return qq::sched::Task{k, [ms] { std::this_thread::sleep_for(ms); }};
+  };
+  const qq::sched::EngineOptions opts{2, 2};
+
+  StreamedResult out;
+  std::vector<double> barrier_walls, streaming_walls;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Level-barrier baseline: the pre-streaming driver's shape — one
+    // run_batch per level across ALL components.
+    {
+      WorkflowEngine engine(opts);
+      qq::util::Timer timer;
+      std::vector<Task> level0;
+      const int max_leaves = *std::max_element(leaves.begin(), leaves.end());
+      for (int i = 0; i < max_leaves; ++i) {
+        for (const int n : leaves) {
+          if (i < n) {
+            level0.push_back(sleep_task(kLeafLatency, ResourceKind::kQuantum));
+          }
+        }
+      }
+      engine.run_batch(std::move(level0));
+      std::vector<Task> merges;
+      for (std::size_t c = 0; c < leaves.size(); ++c) {
+        merges.push_back(sleep_task(kMergeLatency, ResourceKind::kClassical));
+      }
+      engine.run_batch(std::move(merges));
+      std::vector<Task> coarse;
+      for (std::size_t c = 0; c < leaves.size(); ++c) {
+        coarse.push_back(sleep_task(kCoarseLatency, ResourceKind::kQuantum));
+      }
+      engine.run_batch(std::move(coarse));
+      barrier_walls.push_back(timer.seconds());
+    }
+    // Streaming: the same chains as a dependency graph on one engine.
+    {
+      WorkflowEngine engine(opts);
+      qq::util::Timer timer;
+      // Leaves interleave across chains (the pipeline submits component
+      // roots together, so no chain's leaves monopolize the front of the
+      // ready queue), exactly like the barrier baseline above.
+      std::vector<std::vector<TaskHandle>> chain_leaves(leaves.size());
+      const int max_leaves = *std::max_element(leaves.begin(), leaves.end());
+      for (int i = 0; i < max_leaves; ++i) {
+        for (std::size_t c = 0; c < leaves.size(); ++c) {
+          if (i < leaves[c]) {
+            chain_leaves[c].push_back(engine.submit(
+                sleep_task(kLeafLatency, ResourceKind::kQuantum)));
+          }
+        }
+      }
+      std::vector<TaskHandle> leaf_handles;
+      std::vector<TaskHandle> coarse_handles;
+      for (std::size_t c = 0; c < leaves.size(); ++c) {
+        leaf_handles.insert(leaf_handles.end(), chain_leaves[c].begin(),
+                            chain_leaves[c].end());
+        const TaskHandle merge =
+            engine.submit(sleep_task(kMergeLatency, ResourceKind::kClassical),
+                          chain_leaves[c]);
+        coarse_handles.push_back(engine.submit(
+            sleep_task(kCoarseLatency, ResourceKind::kQuantum), {merge}));
+      }
+      engine.drain();
+      streaming_walls.push_back(timer.seconds());
+      if (rep == 0) {
+        double last_leaf_end = 0.0;
+        for (const TaskHandle h : leaf_handles) {
+          last_leaf_end = std::max(last_leaf_end, engine.timing(h).end_s);
+        }
+        for (const TaskHandle h : coarse_handles) {
+          if (engine.timing(h).start_s < last_leaf_end) ++out.overlapped_coarse;
+        }
+        out.tasks = static_cast<int>(engine.stats().completed);
+      }
+    }
+  }
+  out.barrier_wall_s = median_of(barrier_walls);
+  out.streaming_wall_s = median_of(streaming_walls);
+  return out;
+}
+
+// ------------------------------------------------------------ qaoa2 stream --
+struct PipelineResult {
+  double barrier_wall_s = 0.0;
+  double streaming_wall_s = 0.0;
+  double cut_barrier = 0.0;
+  double cut_streaming = 0.0;
+  int components = 0;
+  int engine_tasks = 0;
+};
+
+PipelineResult run_qaoa2_streaming(int reps, int budget) {
+  // Four components with skewed sizes: one 36-node blob that needs two
+  // levels plus three 12-node blobs that finish early and stream their
+  // coarse levels while the big one is still solving.
+  qq::util::Rng rng(41);
+  std::vector<qq::graph::Graph> blobs;
+  blobs.push_back(qq::graph::erdos_renyi(64, 0.15, rng));
+  for (int i = 0; i < 3; ++i) {
+    blobs.push_back(qq::graph::erdos_renyi(18, 0.3, rng));
+  }
+  int total = 0;
+  for (const auto& b : blobs) total += b.num_nodes();
+  qq::graph::Graph g(static_cast<qq::graph::NodeId>(total));
+  int offset = 0;
+  for (const auto& b : blobs) {
+    for (const qq::graph::Edge& e : b.edges()) {
+      g.add_edge(e.u + offset, e.v + offset, e.w);
+    }
+    offset += b.num_nodes();
+  }
+
+  qq::qaoa2::Qaoa2Options opts;
+  opts.max_qubits = 14;
+  opts.sub_solver = qq::qaoa2::SubSolver::kQaoa;
+  opts.qaoa.layers = 2;
+  opts.qaoa.max_iterations = budget;
+  opts.qaoa.shots = 256;
+  opts.merge_solver = qq::qaoa2::SubSolver::kGw;
+  opts.seed = 43;
+  opts.engine = qq::sched::EngineOptions{2, 4};
+
+  PipelineResult out;
+  std::vector<double> barrier_walls, streaming_walls;
+  for (int rep = 0; rep < reps; ++rep) {
+    opts.streaming = false;
+    qq::util::Timer t0;
+    const auto barrier = qq::qaoa2::solve_qaoa2(g, opts);
+    barrier_walls.push_back(t0.seconds());
+    opts.streaming = true;
+    qq::util::Timer t1;
+    const auto streaming = qq::qaoa2::solve_qaoa2(g, opts);
+    streaming_walls.push_back(t1.seconds());
+    out.cut_barrier = barrier.cut.value;
+    out.cut_streaming = streaming.cut.value;
+    out.components = streaming.components;
+    out.engine_tasks = streaming.engine_tasks;
+  }
+  out.barrier_wall_s = median_of(barrier_walls);
+  out.streaming_wall_s = median_of(streaming_walls);
+  return out;
+}
+
 // ------------------------------------------------------------ alloc churn --
 struct AllocResult {
   double bytes_per_eval = 0.0;
@@ -299,6 +474,21 @@ int main(int argc, char** argv) {
               nest.top_level_ms > 0 ? nest.in_task_ms / nest.top_level_ms
                                     : 0.0,
               nest.chunks_per_nested_layer);
+
+  const StreamedResult stream = run_streamed_components(reps);
+  std::printf("streamed_comps   barrier %.3f s   streaming %.3f s   "
+              "speedup %.2f   overlapped-coarse %d/%d   tasks %d\n",
+              stream.barrier_wall_s, stream.streaming_wall_s,
+              stream.streaming_wall_s > 0
+                  ? stream.barrier_wall_s / stream.streaming_wall_s
+                  : 0.0,
+              stream.overlapped_coarse, 4, stream.tasks);
+
+  const PipelineResult pipe = run_qaoa2_streaming(reps, quick ? 6 : 40);
+  std::printf("qaoa2_streaming  barrier %.3f s   streaming %.3f s   cuts "
+              "%.1f/%.1f (must match)   components %d   engine tasks %d\n",
+              pipe.barrier_wall_s, pipe.streaming_wall_s, pipe.cut_barrier,
+              pipe.cut_streaming, pipe.components, pipe.engine_tasks);
 
   const AllocResult alloc = run_alloc_churn(quick ? 8 : 30);
   std::printf("alloc_churn      %.0f bytes/eval   %.1f allocs/eval   "

@@ -21,6 +21,13 @@ int main(int argc, char** argv) {
   const double prob = args.get_double("prob", 0.08);
   const int qubits = args.get_int("qubits", 10);
   const std::string solver = args.get("solver", "best");
+  const auto sub_solver = qq::qaoa2::parse_sub_solver(solver);
+  if (!sub_solver) {
+    std::fprintf(stderr, "unknown --solver '%s' (expected one of qaoa, gw, "
+                 "best, exact, anneal, local-search, rqaoa)\n",
+                 solver.c_str());
+    return 1;
+  }
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
 
   qq::util::Rng rng(seed);
@@ -34,13 +41,7 @@ int main(int argc, char** argv) {
   opts.qaoa.layers = 3;
   opts.seed = seed;
   opts.engine = qq::sched::EngineOptions{4, 4};  // 4 QPUs + 4 CPU workers
-  if (solver == "qaoa") {
-    opts.sub_solver = qq::qaoa2::SubSolver::kQaoa;
-  } else if (solver == "gw") {
-    opts.sub_solver = qq::qaoa2::SubSolver::kGw;
-  } else {
-    opts.sub_solver = qq::qaoa2::SubSolver::kBest;
-  }
+  opts.sub_solver = *sub_solver;
 
   const auto result = qq::qaoa2::solve_qaoa2(g, opts);
 
@@ -51,6 +52,8 @@ int main(int argc, char** argv) {
   std::printf("  sub-problems solved: %d (%d quantum, %d classical)\n",
               result.subgraphs_total, result.quantum_solves,
               result.classical_solves);
+  std::printf("  components streamed: %d (%d engine tasks)\n",
+              result.components, result.engine_tasks);
   for (const auto& level : result.level_stats) {
     std::printf("  level %d: %d parts (sizes %d..%d), cut after merge %.2f\n",
                 level.level, level.num_parts, level.smallest_part,

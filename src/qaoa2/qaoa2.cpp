@@ -1,7 +1,9 @@
 #include "qaoa2/qaoa2.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <stdexcept>
+#include <utility>
 
 #include "maxcut/anneal.hpp"
 #include "maxcut/baselines.hpp"
@@ -9,6 +11,7 @@
 #include "qaoa/rqaoa.hpp"
 #include "qaoa2/merge.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace qq::qaoa2 {
@@ -19,10 +22,68 @@ bool is_quantum(SubSolver solver) {
   return solver == SubSolver::kQaoa || solver == SubSolver::kRqaoa;
 }
 
+sched::ResourceKind kind_of(SubSolver solver) {
+  return is_quantum(solver) ? sched::ResourceKind::kQuantum
+                            : sched::ResourceKind::kClassical;
+}
+
 std::uint64_t mix_seed(std::uint64_t seed, int level, std::size_t part) {
   util::SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(level) << 32) ^
                       static_cast<std::uint64_t>(part));
   return sm.next();
+}
+
+std::uint64_t partition_seed(std::uint64_t base_seed, int level) {
+  return base_seed + static_cast<std::uint64_t>(level) * 1000003ULL;
+}
+
+LevelStats make_level_stats(
+    int level, const std::vector<std::vector<graph::NodeId>>& parts) {
+  LevelStats stats;
+  stats.level = level;
+  stats.num_parts = static_cast<int>(parts.size());
+  stats.largest_part = 0;
+  stats.smallest_part = 0;
+  for (const auto& part : parts) {
+    stats.largest_part =
+        std::max(stats.largest_part, static_cast<int>(part.size()));
+    stats.smallest_part =
+        stats.smallest_part == 0
+            ? static_cast<int>(part.size())
+            : std::min(stats.smallest_part, static_cast<int>(part.size()));
+  }
+  return stats;
+}
+
+/// Fold one component's counters and per-level stats into the whole-solve
+/// result. Level stats are merged by level: part counts and cuts sum,
+/// extremes combine, so a single-component (connected) solve reduces to the
+/// component's own stats.
+void accumulate(Qaoa2Result& total, const Qaoa2Result& partial) {
+  total.levels = std::max(total.levels, partial.levels);
+  total.subgraphs_total += partial.subgraphs_total;
+  total.quantum_solves += partial.quantum_solves;
+  total.classical_solves += partial.classical_solves;
+  total.solve_seconds += partial.solve_seconds;
+  for (const LevelStats& ls : partial.level_stats) {
+    auto it = std::find_if(
+        total.level_stats.begin(), total.level_stats.end(),
+        [&ls](const LevelStats& t) { return t.level == ls.level; });
+    if (it == total.level_stats.end()) {
+      total.level_stats.push_back(ls);
+      continue;
+    }
+    it->num_parts += ls.num_parts;
+    it->largest_part = std::max(it->largest_part, ls.largest_part);
+    it->smallest_part = it->smallest_part == 0
+                            ? ls.smallest_part
+                            : std::min(it->smallest_part, ls.smallest_part);
+    it->level_cut += ls.level_cut;
+  }
+  std::sort(total.level_stats.begin(), total.level_stats.end(),
+            [](const LevelStats& a, const LevelStats& b) {
+              return a.level < b.level;
+            });
 }
 
 }  // namespace
@@ -38,6 +99,24 @@ const char* sub_solver_name(SubSolver solver) noexcept {
     case SubSolver::kRqaoa: return "rqaoa";
   }
   return "?";
+}
+
+std::optional<SubSolver> parse_sub_solver(std::string_view name) noexcept {
+  for (const SubSolver s :
+       {SubSolver::kQaoa, SubSolver::kGw, SubSolver::kBest, SubSolver::kExact,
+        SubSolver::kAnneal, SubSolver::kLocalSearch, SubSolver::kRqaoa}) {
+    if (name == sub_solver_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t component_seed(std::uint64_t seed, std::size_t component,
+                             std::size_t num_components) noexcept {
+  if (num_components <= 1) return seed;
+  util::SplitMix64 sm(seed ^
+                      (0x9e3779b97f4a7c15ULL *
+                       (static_cast<std::uint64_t>(component) + 1)));
+  return sm.next();
 }
 
 Qaoa2Driver::Qaoa2Driver(const Qaoa2Options& options) : options_(options) {
@@ -96,30 +175,257 @@ maxcut::CutResult Qaoa2Driver::solve_subgraph(const graph::Graph& g,
   return trivial;
 }
 
+maxcut::CutResult Qaoa2Driver::solve_fitting_level(const graph::Graph& g,
+                                                   int level,
+                                                   std::uint64_t base_seed,
+                                                   Qaoa2Result& result) const {
+  const SubSolver solver =
+      level == 0 ? options_.sub_solver : options_.merge_solver;
+  util::Timer timer;
+  const auto res = solve_subgraph(g, solver, mix_seed(base_seed, level, 0));
+  result.solve_seconds += timer.seconds();
+  is_quantum(solver) ? ++result.quantum_solves : ++result.classical_solves;
+  ++result.subgraphs_total;
+  result.levels = std::max(result.levels, level + 1);
+  LevelStats stats;
+  stats.level = level;
+  stats.num_parts = 1;
+  stats.largest_part = stats.smallest_part = static_cast<int>(g.num_nodes());
+  stats.level_cut = maxcut::cut_value(g, res.assignment);
+  result.level_stats.push_back(stats);
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming pipeline: one persistent dependency-aware engine carries every
+// component's chain  extract -> [partition -> sub-solves -> merge]* ->
+// coarse solve -> unwind  as tasks; a component whose sub-solves finish
+// starts its coarse level while other components' sub-graphs are still in
+// flight, and the partition / induced-extraction / merge-graph work runs on
+// the engine and pool instead of the coordinator thread.
+
+namespace {
+
+/// One partitioned recursion level of one component.
+struct StreamFrame {
+  graph::Graph graph;  ///< the (coarse) graph partitioned at this level
+  std::vector<std::vector<graph::NodeId>> parts;
+  std::vector<graph::Subgraph> subgraphs;
+  std::vector<maxcut::CutResult> primary;
+  std::vector<maxcut::CutResult> secondary;  ///< kBest's classical runs
+  std::vector<double> primary_seconds;
+  std::vector<double> secondary_seconds;
+  std::vector<maxcut::Assignment> locals;
+  LevelStats stats;
+};
+
+struct ComponentRun {
+  std::size_t index = 0;
+  std::uint64_t base_seed = 0;
+  std::vector<graph::NodeId> to_global;
+  std::deque<StreamFrame> frames;  ///< frames[l] = partitioned level l
+  graph::Graph fitting_graph;      ///< the final level's (coarse) graph
+  maxcut::Assignment assignment;   ///< component-local final assignment
+  Qaoa2Result partial;
+};
+
+}  // namespace
+
+class StreamPipeline {
+ public:
+  StreamPipeline(const Qaoa2Driver& driver, sched::WorkflowEngine& engine,
+                 const graph::Graph& g,
+                 const std::vector<std::vector<graph::NodeId>>& components)
+      : driver_(driver),
+        options_(driver.options()),
+        engine_(engine),
+        graph_(g),
+        components_(components) {}
+
+  /// Submit every component's root task and drain the engine. Throws the
+  /// first task error, if any.
+  void run() {
+    runs_.resize(components_.size());
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      runs_[i].index = i;
+      runs_[i].base_seed =
+          component_seed(options_.seed, i, components_.size());
+    }
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      ComponentRun& c = runs_[i];
+      engine_.submit({sched::ResourceKind::kClassical, [this, &c] {
+                        graph::Subgraph sub =
+                            graph_.induced(components_[c.index]);
+                        c.to_global = std::move(sub.to_global);
+                        start_level(c, 0, std::move(sub.graph));
+                      }});
+    }
+    engine_.drain();
+  }
+
+  const std::vector<ComponentRun>& runs() const noexcept { return runs_; }
+
+ private:
+  void start_level(ComponentRun& c, int level, graph::Graph g) {
+    c.partial.levels = std::max(c.partial.levels, level + 1);
+    if (g.num_nodes() <= options_.max_qubits) {
+      submit_fitting_solve(c, level, std::move(g));
+      return;
+    }
+    const SubSolver level_solver =
+        level == 0 ? options_.sub_solver : options_.deeper_solver;
+
+    graph::PartitionOptions popts;
+    popts.max_nodes = options_.max_qubits;
+    popts.method = options_.partition_method;
+    popts.seed = partition_seed(c.base_seed, level);
+    auto parts = graph::partition_max_size(g, popts);
+    if (static_cast<graph::NodeId>(parts.size()) >= g.num_nodes()) {
+      // Cannot happen with the partitioner's no-progress fallback; guard
+      // the chain against any future partitioner that degenerates.
+      throw std::runtime_error("Qaoa2Driver: partition made no progress");
+    }
+
+    c.frames.emplace_back();
+    StreamFrame& f = c.frames.back();
+    f.stats = make_level_stats(level, parts);
+    f.graph = std::move(g);
+    f.parts = std::move(parts);
+    f.subgraphs = graph::induced_batch(f.graph, f.parts, &engine_.pool());
+
+    const bool best_mode = level_solver == SubSolver::kBest;
+    const std::size_t n = f.parts.size();
+    f.primary.resize(n);
+    f.primary_seconds.assign(n, 0.0);
+    if (best_mode) {
+      f.secondary.resize(n);
+      f.secondary_seconds.assign(n, 0.0);
+    }
+
+    std::vector<sched::TaskHandle> solves;
+    solves.reserve(n * (best_mode ? 2 : 1));
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t seed = mix_seed(c.base_seed, level, i);
+      if (best_mode) {
+        solves.push_back(engine_.submit(
+            {sched::ResourceKind::kQuantum, [this, &c, level, i, seed] {
+               StreamFrame& fr = c.frames[static_cast<std::size_t>(level)];
+               util::Timer timer;
+               fr.primary[i] = driver_.solve_subgraph(fr.subgraphs[i].graph,
+                                                      SubSolver::kQaoa, seed);
+               fr.primary_seconds[i] = timer.seconds();
+             }}));
+        solves.push_back(engine_.submit(
+            {sched::ResourceKind::kClassical, [this, &c, level, i, seed] {
+               StreamFrame& fr = c.frames[static_cast<std::size_t>(level)];
+               util::Timer timer;
+               fr.secondary[i] = driver_.solve_subgraph(fr.subgraphs[i].graph,
+                                                        SubSolver::kGw, seed);
+               fr.secondary_seconds[i] = timer.seconds();
+             }}));
+      } else {
+        solves.push_back(engine_.submit(
+            {kind_of(level_solver),
+             [this, &c, level, i, seed, level_solver] {
+               StreamFrame& fr = c.frames[static_cast<std::size_t>(level)];
+               util::Timer timer;
+               fr.primary[i] = driver_.solve_subgraph(fr.subgraphs[i].graph,
+                                                      level_solver, seed);
+               fr.primary_seconds[i] = timer.seconds();
+             }}));
+      }
+    }
+    engine_.submit({sched::ResourceKind::kClassical,
+                    [this, &c, level] { finish_level(c, level); }},
+                   solves);
+  }
+
+  /// Merge task body: select locals, build the signed coarse graph, start
+  /// the next level — all while other components' tasks keep flowing.
+  void finish_level(ComponentRun& c, int level) {
+    StreamFrame& f = c.frames[static_cast<std::size_t>(level)];
+    const SubSolver level_solver =
+        level == 0 ? options_.sub_solver : options_.deeper_solver;
+    const bool best_mode = level_solver == SubSolver::kBest;
+    Qaoa2Result& r = c.partial;
+    f.locals.resize(f.parts.size());
+    for (std::size_t i = 0; i < f.parts.size(); ++i) {
+      if (best_mode) {
+        f.locals[i] = f.primary[i].value >= f.secondary[i].value
+                          ? f.primary[i].assignment
+                          : f.secondary[i].assignment;
+        ++r.quantum_solves;
+        ++r.classical_solves;
+        r.solve_seconds += f.primary_seconds[i] + f.secondary_seconds[i];
+      } else {
+        f.locals[i] = f.primary[i].assignment;
+        is_quantum(level_solver) ? ++r.quantum_solves : ++r.classical_solves;
+        r.solve_seconds += f.primary_seconds[i];
+      }
+      ++r.subgraphs_total;
+    }
+    graph::Graph coarse = build_merge_graph(f.graph, f.parts, f.locals);
+    start_level(c, level + 1, std::move(coarse));
+  }
+
+  /// The component's terminal solve: the (coarse) graph fits on a device.
+  /// Completion unwinds the flips through every recorded level.
+  void submit_fitting_solve(ComponentRun& c, int level, graph::Graph g) {
+    const SubSolver solver =
+        level == 0 ? options_.sub_solver : options_.merge_solver;
+    c.fitting_graph = std::move(g);
+    engine_.submit({kind_of(solver), [this, &c, level] {
+                      const auto res = driver_.solve_fitting_level(
+                          c.fitting_graph, level, c.base_seed, c.partial);
+                      unwind(c, level, res.assignment);
+                    }});
+  }
+
+  void unwind(ComponentRun& c, int fitting_level,
+              maxcut::Assignment assignment) {
+    for (int l = fitting_level - 1; l >= 0; --l) {
+      StreamFrame& f = c.frames[static_cast<std::size_t>(l)];
+      assignment =
+          apply_flips(f.graph.num_nodes(), f.parts, f.locals, assignment);
+      f.stats.level_cut = maxcut::cut_value(f.graph, assignment);
+      c.partial.level_stats.push_back(f.stats);
+    }
+    c.assignment = std::move(assignment);
+  }
+
+  const Qaoa2Driver& driver_;
+  const Qaoa2Options& options_;
+  sched::WorkflowEngine& engine_;
+  const graph::Graph& graph_;
+  const std::vector<std::vector<graph::NodeId>>& components_;
+  std::vector<ComponentRun> runs_;
+};
+
+// ---------------------------------------------------------------------------
+// Level-barrier recursion (streaming off): the reference pipeline. One
+// engine batch per level; every seed matches the streaming pipeline's, so
+// the two produce bit-for-bit identical cuts.
+
 void Qaoa2Driver::solve_level(const graph::Graph& g, int level,
+                              std::uint64_t base_seed,
+                              sched::WorkflowEngine& engine,
                               Qaoa2Result& result,
                               maxcut::Assignment& out_assignment) const {
   result.levels = std::max(result.levels, level + 1);
-  const SubSolver level_solver =
-      level == 0 ? options_.sub_solver : options_.deeper_solver;
 
   // Base case: the whole (coarse) graph fits on a device.
   if (g.num_nodes() <= options_.max_qubits) {
-    const SubSolver solver = level == 0 ? level_solver : options_.merge_solver;
-    util::Timer timer;
-    const auto res = solve_subgraph(g, solver, mix_seed(options_.seed, level, 0));
-    result.solve_seconds += timer.seconds();
-    is_quantum(solver) ? ++result.quantum_solves : ++result.classical_solves;
-    ++result.subgraphs_total;
-    out_assignment = res.assignment;
+    out_assignment = solve_fitting_level(g, level, base_seed, result).assignment;
     return;
   }
+  const SubSolver level_solver =
+      level == 0 ? options_.sub_solver : options_.deeper_solver;
 
   // Divide (paper step 2).
   graph::PartitionOptions popts;
   popts.max_nodes = options_.max_qubits;
   popts.method = options_.partition_method;
-  popts.seed = options_.seed + static_cast<std::uint64_t>(level) * 1000003ULL;
+  popts.seed = partition_seed(base_seed, level);
   const auto parts = graph::partition_max_size(g, popts);
   if (static_cast<graph::NodeId>(parts.size()) >= g.num_nodes()) {
     // Cannot happen with the partitioner's no-progress fallback; guard the
@@ -127,62 +433,42 @@ void Qaoa2Driver::solve_level(const graph::Graph& g, int level,
     throw std::runtime_error("Qaoa2Driver: partition made no progress");
   }
 
-  LevelStats stats;
-  stats.level = level;
-  stats.num_parts = static_cast<int>(parts.size());
-  stats.largest_part = 0;
-  stats.smallest_part = g.num_nodes();
-  for (const auto& part : parts) {
-    stats.largest_part = std::max(stats.largest_part,
-                                  static_cast<int>(part.size()));
-    stats.smallest_part = std::min(stats.smallest_part,
-                                   static_cast<int>(part.size()));
-  }
+  LevelStats stats = make_level_stats(level, parts);
 
   // Conquer (paper step 3): every sub-graph in parallel through the
   // coordinator/worker engine. kBest submits a quantum and a classical task
   // per part and keeps the better cut (paper §3.6/Fig. 4 "Best").
-  std::vector<graph::Graph> subgraphs;
-  subgraphs.reserve(parts.size());
-  for (const auto& part : parts) subgraphs.push_back(g.induced(part).graph);
+  const auto subgraphs = graph::induced_batch(g, parts, &engine.pool());
 
   const bool best_mode = level_solver == SubSolver::kBest;
   std::vector<maxcut::CutResult> primary(parts.size());
   std::vector<maxcut::CutResult> secondary(best_mode ? parts.size() : 0);
 
-  sched::WorkflowEngine engine(options_.engine);
   std::vector<sched::Task> tasks;
   tasks.reserve(parts.size() * (best_mode ? 2 : 1));
   for (std::size_t i = 0; i < parts.size(); ++i) {
-    const std::uint64_t seed = mix_seed(options_.seed, level, i);
+    const std::uint64_t seed = mix_seed(base_seed, level, i);
     if (best_mode) {
       tasks.push_back({sched::ResourceKind::kQuantum, [this, &subgraphs,
                                                        &primary, i, seed] {
-                         primary[i] =
-                             solve_subgraph(subgraphs[i], SubSolver::kQaoa, seed);
+                         primary[i] = solve_subgraph(subgraphs[i].graph,
+                                                     SubSolver::kQaoa, seed);
                        }});
       tasks.push_back({sched::ResourceKind::kClassical,
                        [this, &subgraphs, &secondary, i, seed] {
-                         secondary[i] =
-                             solve_subgraph(subgraphs[i], SubSolver::kGw, seed);
+                         secondary[i] = solve_subgraph(subgraphs[i].graph,
+                                                       SubSolver::kGw, seed);
                        }});
     } else {
-      const auto kind = is_quantum(level_solver)
-                            ? sched::ResourceKind::kQuantum
-                            : sched::ResourceKind::kClassical;
-      tasks.push_back({kind, [this, &subgraphs, &primary, i, seed,
-                              level_solver] {
-                         primary[i] =
-                             solve_subgraph(subgraphs[i], level_solver, seed);
+      tasks.push_back({kind_of(level_solver), [this, &subgraphs, &primary, i,
+                                               seed, level_solver] {
+                         primary[i] = solve_subgraph(subgraphs[i].graph,
+                                                     level_solver, seed);
                        }});
     }
   }
   const sched::BatchReport report = engine.run_batch(std::move(tasks));
   result.solve_seconds += report.busy_seconds;
-  result.coordination_seconds += report.coordination_seconds;
-  for (const sched::TaskTiming& timing : report.timings) {
-    result.queue_wait_seconds += timing.wait_s;
-  }
 
   std::vector<maxcut::Assignment> locals(parts.size());
   for (std::size_t i = 0; i < parts.size(); ++i) {
@@ -192,31 +478,20 @@ void Qaoa2Driver::solve_level(const graph::Graph& g, int level,
                       : secondary[i].assignment;
       ++result.quantum_solves;
       ++result.classical_solves;
-      result.subgraphs_total += 1;
     } else {
       locals[i] = primary[i].assignment;
       is_quantum(level_solver) ? ++result.quantum_solves
                                : ++result.classical_solves;
-      ++result.subgraphs_total;
     }
+    ++result.subgraphs_total;
   }
 
-  // Merge (paper step 4) and recurse on the coarse graph (step 5).
+  // Merge (paper step 4) and recurse on the coarse graph (step 5). The
+  // final coarse solve goes through the same fitting path as the base case
+  // (solve_level's base case), so its level is recorded in level_stats too.
   const graph::Graph coarse = build_merge_graph(g, parts, locals);
   maxcut::Assignment coarse_assignment;
-  if (coarse.num_nodes() <= options_.max_qubits) {
-    util::Timer timer;
-    const auto res = solve_subgraph(coarse, options_.merge_solver,
-                                    mix_seed(options_.seed, level + 1, 0));
-    result.solve_seconds += timer.seconds();
-    is_quantum(options_.merge_solver) ? ++result.quantum_solves
-                                      : ++result.classical_solves;
-    ++result.subgraphs_total;
-    result.levels = std::max(result.levels, level + 2);
-    coarse_assignment = res.assignment;
-  } else {
-    solve_level(coarse, level + 1, result, coarse_assignment);
-  }
+  solve_level(coarse, level + 1, base_seed, engine, result, coarse_assignment);
 
   out_assignment =
       apply_flips(g.num_nodes(), parts, locals, coarse_assignment);
@@ -225,12 +500,63 @@ void Qaoa2Driver::solve_level(const graph::Graph& g, int level,
 }
 
 Qaoa2Result Qaoa2Driver::solve(const graph::Graph& g) const {
+  util::Timer wall;
   Qaoa2Result result;
-  maxcut::Assignment assignment;
-  solve_level(g, 0, result, assignment);
-  result.cut.assignment = std::move(assignment);
+
+  // A graph that fits on one device needs no engine at all.
+  if (g.num_nodes() <= options_.max_qubits) {
+    result.components = 1;
+    result.cut.assignment =
+        solve_fitting_level(g, 0, options_.seed, result).assignment;
+    result.cut.value = maxcut::cut_value(g, result.cut.assignment);
+    return result;
+  }
+
+  // Shard by connected component: components share no edges, so they are
+  // independent MaxCut instances with independent seed streams.
+  const auto components = graph::connected_components(g);
+  result.components = static_cast<int>(components.size());
+
+  // ONE engine (and one pool) for the entire solve.
+  sched::WorkflowEngine engine(options_.engine);
+  maxcut::Assignment global(static_cast<std::size_t>(g.num_nodes()), 0);
+
+  if (options_.streaming) {
+    StreamPipeline pipeline(*this, engine, g, components);
+    pipeline.run();
+    for (const ComponentRun& run : pipeline.runs()) {
+      accumulate(result, run.partial);
+      for (std::size_t j = 0; j < run.to_global.size(); ++j) {
+        global[static_cast<std::size_t>(run.to_global[j])] =
+            run.assignment[j];
+      }
+    }
+  } else {
+    for (std::size_t ci = 0; ci < components.size(); ++ci) {
+      graph::Subgraph sub = g.induced(components[ci]);
+      const std::uint64_t base_seed =
+          component_seed(options_.seed, ci, components.size());
+      Qaoa2Result partial;
+      maxcut::Assignment assignment;
+      solve_level(sub.graph, 0, base_seed, engine, partial, assignment);
+      accumulate(result, partial);
+      for (std::size_t j = 0; j < sub.to_global.size(); ++j) {
+        global[static_cast<std::size_t>(sub.to_global[j])] = assignment[j];
+      }
+    }
+  }
+
+  const sched::EngineStats estats = engine.stats();
+  result.engine_tasks = static_cast<int>(estats.completed);
+  result.queue_wait_seconds = estats.queue_wait_seconds;
+  const double ideal = sched::ideal_parallel_seconds(
+      estats.busy_quantum_seconds, estats.busy_classical_seconds,
+      estats.quantum_tasks, estats.classical_tasks, options_.engine,
+      std::max<std::size_t>(std::size_t{1}, engine.pool().size()));
+  result.coordination_seconds = std::max(0.0, wall.seconds() - ideal);
+
+  result.cut.assignment = std::move(global);
   result.cut.value = maxcut::cut_value(g, result.cut.assignment);
-  std::reverse(result.level_stats.begin(), result.level_stats.end());
   return result;
 }
 

@@ -8,8 +8,19 @@
 // The hybrid selection the paper studies (§3.6/Fig. 4) is the SubSolver
 // knob: all-QAOA ("QAOA"), all-GW ("Classic"), or per-sub-graph best of
 // both ("Best").
+//
+// The solve is sharded by connected component and (by default) STREAMED:
+// every component flows partition -> sub-solves -> merge -> coarse
+// solve/recursion as a chain of dependent tasks on ONE persistent
+// WorkflowEngine, so a component whose sub-solves finish starts its coarse
+// level while other components' sub-graphs are still running. The
+// level-barrier recursive pipeline is retained (`streaming = false`) as a
+// reference; both produce bit-for-bit identical cuts because every
+// sub-problem's seed is a pure function of (component, level, part).
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "maxcut/cut.hpp"
@@ -50,15 +61,26 @@ struct Qaoa2Options {
   /// Simulated device count / classical worker slots for the parallel
   /// sub-graph fan-out (Fig. 2).
   sched::EngineOptions engine;
+  /// Stream components and recursion levels through one persistent
+  /// dependency-aware engine (default). `false` selects the level-barrier
+  /// recursive pipeline; the cut is bit-for-bit identical either way.
+  bool streaming = true;
   std::uint64_t seed = 0;
 };
 
 struct LevelStats {
   int level = 0;
+  /// Sub-problems solved at this level, summed over components. The final
+  /// level of every component (the coarse graph that fits on a device) is
+  /// recorded as one part.
   int num_parts = 0;
   int largest_part = 0;
   int smallest_part = 0;
-  double level_cut = 0.0;  ///< global cut value after this level's merge
+  /// Cut value of this level's graph under the assignment after this
+  /// level's merge, summed over the components that reach this level. At
+  /// level 0 the level graph is the input graph, so this equals the final
+  /// cut value.
+  double level_cut = 0.0;
 };
 
 struct Qaoa2Result {
@@ -67,17 +89,24 @@ struct Qaoa2Result {
   int subgraphs_total = 0;
   int quantum_solves = 0;
   int classical_solves = 0;
+  /// Connected components the solve was sharded into.
+  int components = 0;
+  /// Tasks executed by the workflow engine (0 when the graph fit on one
+  /// device and no engine was needed).
+  int engine_tasks = 0;
   double solve_seconds = 0.0;         ///< wall time in sub-graph solvers
   double coordination_seconds = 0.0;  ///< engine overhead (Fig. 2 claim)
   /// Σ per-task queue wait (slot wait + pool queueing) across every engine
-  /// batch — the time sub-solves spent ready-but-not-running.
+  /// task — the time sub-solves spent ready-but-not-running.
   double queue_wait_seconds = 0.0;
-  std::vector<LevelStats> level_stats;
+  std::vector<LevelStats> level_stats;  ///< ordered by level, ascending
 };
 
 class Qaoa2Driver {
  public:
   explicit Qaoa2Driver(const Qaoa2Options& options);
+
+  const Qaoa2Options& options() const noexcept { return options_; }
 
   Qaoa2Result solve(const graph::Graph& g) const;
 
@@ -87,7 +116,19 @@ class Qaoa2Driver {
                                    std::uint64_t seed) const;
 
  private:
-  void solve_level(const graph::Graph& g, int level, Qaoa2Result& result,
+  friend class StreamPipeline;
+
+  /// Solve a (coarse) graph that fits on one device: the base case at
+  /// level 0 and the final coarse solve at deeper levels share this path,
+  /// which records the level's stats and counters (the final level used to
+  /// be missing from level_stats entirely).
+  maxcut::CutResult solve_fitting_level(const graph::Graph& g, int level,
+                                        std::uint64_t base_seed,
+                                        Qaoa2Result& result) const;
+
+  /// Level-barrier recursion over one connected component (streaming off).
+  void solve_level(const graph::Graph& g, int level, std::uint64_t base_seed,
+                   sched::WorkflowEngine& engine, Qaoa2Result& result,
                    maxcut::Assignment& out_assignment) const;
 
   Qaoa2Options options_;
@@ -97,5 +138,16 @@ class Qaoa2Driver {
 Qaoa2Result solve_qaoa2(const graph::Graph& g, const Qaoa2Options& options = {});
 
 const char* sub_solver_name(SubSolver solver) noexcept;
+
+/// Round-trip inverse of sub_solver_name; nullopt for unknown names.
+std::optional<SubSolver> parse_sub_solver(std::string_view name) noexcept;
+
+/// Base seed of component `component` of `num_components` in a sharded
+/// solve. Identity for a single-component (connected) graph — sharding must
+/// not perturb the unsharded seed stream — and a SplitMix64 mix of the
+/// component ordinal otherwise, so solving a component independently with
+/// this seed reproduces the sharded solve's per-component results exactly.
+std::uint64_t component_seed(std::uint64_t seed, std::size_t component,
+                             std::size_t num_components) noexcept;
 
 }  // namespace qq::qaoa2

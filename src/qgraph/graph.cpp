@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/thread_pool.hpp"
+
 namespace qq::graph {
 
 Graph::Graph(NodeId num_nodes) {
@@ -148,6 +150,27 @@ std::vector<std::vector<NodeId>> connected_components(const Graph& g) {
 bool is_connected(const Graph& g) {
   if (g.num_nodes() <= 1) return true;
   return connected_components(g).size() == 1;
+}
+
+std::vector<Subgraph> component_subgraphs(const Graph& g) {
+  const auto comps = connected_components(g);
+  std::vector<Subgraph> out;
+  out.reserve(comps.size());
+  for (const auto& comp : comps) out.push_back(g.induced(comp));
+  return out;
+}
+
+std::vector<Subgraph> induced_batch(
+    const Graph& g, const std::vector<std::vector<NodeId>>& parts,
+    util::ThreadPool* pool) {
+  std::vector<Subgraph> out(parts.size());
+  util::ThreadPool& p = pool != nullptr ? *pool : util::ThreadPool::global();
+  // One part per chunk: extraction cost is dominated by the edge scan, and
+  // parts are few (the QAOA^2 fan-out is bounded by nodes / max_qubits).
+  util::parallel_for(
+      p, 0, parts.size(),
+      [&](std::size_t i) { out[i] = g.induced(parts[i]); });
+  return out;
 }
 
 }  // namespace qq::graph

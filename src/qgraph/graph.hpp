@@ -10,6 +10,10 @@
 #include <unordered_map>
 #include <vector>
 
+namespace qq::util {
+class ThreadPool;
+}  // namespace qq::util
+
 namespace qq::graph {
 
 using NodeId = std::int32_t;
@@ -72,5 +76,19 @@ struct Subgraph {
 std::vector<std::vector<NodeId>> connected_components(const Graph& g);
 
 bool is_connected(const Graph& g);
+
+/// Shard `g` by connected component: one induced Subgraph per component, in
+/// connected_components order. A connected graph yields a single shard that
+/// is structurally identical to `g` (same node order, same edge insertion
+/// order), so sharding is a no-op for it.
+std::vector<Subgraph> component_subgraphs(const Graph& g);
+
+/// Extract the induced subgraph of every node set in `parts`, fanning the
+/// extractions out across `pool` (nullptr selects the global pool). Output
+/// order matches `parts`; each extraction is identical to
+/// g.induced(parts[i]), so results are independent of the pool width.
+std::vector<Subgraph> induced_batch(const Graph& g,
+                                    const std::vector<std::vector<NodeId>>& parts,
+                                    util::ThreadPool* pool = nullptr);
 
 }  // namespace qq::graph

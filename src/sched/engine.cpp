@@ -5,9 +5,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -21,195 +21,462 @@ constexpr int kind_index(ResourceKind kind) noexcept {
 }
 }  // namespace
 
+double ideal_parallel_seconds(double busy_quantum, double busy_classical,
+                              std::size_t quantum_tasks,
+                              std::size_t classical_tasks,
+                              const EngineOptions& options,
+                              std::size_t pool_width) {
+  const double width =
+      static_cast<double>(std::max<std::size_t>(std::size_t{1}, pool_width));
+  const std::array<double, 2> busy = {busy_quantum, busy_classical};
+  const std::array<std::size_t, 2> count = {quantum_tasks, classical_tasks};
+  const std::array<int, 2> caps = {options.quantum_slots,
+                                   options.classical_slots};
+  double ideal = 0.0;
+  double busy_used = 0.0;
+  int slots_used = 0;
+  for (int k = 0; k < 2; ++k) {
+    if (count[k] == 0) continue;
+    ideal = std::max(ideal, busy[k] / std::min<double>(caps[k], width));
+    busy_used += busy[k];
+    slots_used += caps[k];
+  }
+  if (slots_used > 0) {
+    ideal = std::max(ideal, busy_used / std::min<double>(slots_used, width));
+  }
+  return ideal;
+}
+
+// The whole scheduling state lives behind a shared_ptr: pool wrappers keep
+// it alive, so a wrapper whose task was already claimed (by the coordinator
+// or a faster worker) degrades to a harmless no-op even if it is popped
+// after the engine was destroyed. Task *closures* are a different matter —
+// they reference caller frames — which is why the destructor drains.
+struct WorkflowEngine::Impl {
+  enum class Status : std::uint8_t {
+    kBlocked,     ///< waiting on dependencies
+    kReady,       ///< in a ready queue, waiting for a slot
+    kDispatched,  ///< holds a slot, handed to the pool, claimable
+    kRunning,     ///< claimed by a pool worker or a waiting coordinator
+    kDone,        ///< work returned (possibly via exception; see error)
+    kCancelled,   ///< never ran: a (transitive) dependency failed
+  };
+
+  struct Node {
+    Task task;
+    Status status = Status::kBlocked;
+    int unmet = 0;
+    std::vector<std::size_t> successors;
+    TaskTiming timing;
+    std::exception_ptr error;
+  };
+
+  explicit Impl(const EngineOptions& options)
+      : pool(options.pool != nullptr ? options.pool
+                                     : &util::ThreadPool::global()),
+        caps{options.quantum_slots, options.classical_slots} {}
+
+  double now() const noexcept { return clock.seconds(); }
+
+  // ---- everything below is guarded by `mutex` -----------------------------
+
+  /// Hand ready tasks of kind k to the pool while that kind has free slots.
+  /// A task is only ever submitted once it holds its slot, so no pool
+  /// thread can park in an acquire.
+  void dispatch_locked(const std::shared_ptr<Impl>& self, int k) {
+    while (inflight[k] < caps[k] && !ready[k].empty()) {
+      const std::size_t i = ready[k].front();
+      ready[k].pop_front();
+      ++inflight[k];
+      nodes[i].status = Status::kDispatched;
+      dispatched.push_back(i);
+      pool->submit([self, i] {
+        if (Node* node = self->try_claim(i)) self->run_task(self, *node);
+      });
+    }
+  }
+
+  /// Claim a dispatched task for execution. Returns the node pointer so the
+  /// caller never touches the deque without the lock: element references
+  /// are stable under push_back, but operator[] itself reads the deque's
+  /// internal map, which a concurrent submit may be growing.
+  Node* try_claim(std::size_t i) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (nodes[i].status != Status::kDispatched) return nullptr;
+    nodes[i].status = Status::kRunning;
+    return &nodes[i];
+  }
+
+  /// Cancel a blocked node (and, transitively, its successors) because a
+  /// dependency failed. Iterative worklist: a dependency chain can be
+  /// arbitrarily long, so recursion would risk the stack. Called with
+  /// `mutex` held.
+  void cancel_locked(std::size_t root, const std::exception_ptr& err) {
+    std::vector<std::size_t> worklist{root};
+    while (!worklist.empty()) {
+      const std::size_t i = worklist.back();
+      worklist.pop_back();
+      Node& node = nodes[i];
+      if (node.status != Status::kBlocked) continue;
+      node.status = Status::kCancelled;
+      node.error = err;
+      const double t = now();
+      node.timing.submit_s = node.timing.start_s = node.timing.end_s = t;
+      node.timing.failed = true;
+      node.timing.cancelled = true;
+      node.task.work = nullptr;
+      ++cancelled;
+      --unfinished;
+      worklist.insert(worklist.end(), node.successors.begin(),
+                      node.successors.end());
+      node.successors.clear();
+    }
+  }
+
+  /// Execute a claimed task (caller holds no lock; `node` was resolved
+  /// under it) and do its completion bookkeeping: timings, slot handoff,
+  /// successor release.
+  void run_task(const std::shared_ptr<Impl>& self, Node& node) {
+    const double start = now();
+    std::exception_ptr err;
+    // A failing task must not abandon the graph while siblings still
+    // reference caller frames; the error is delivered by wait()/drain()
+    // once everything owed has settled. Its timing and partial runtime are
+    // recorded like any other task's so the report stays accountable.
+    try {
+      node.task.work();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    const double end = now();
+    // Release the closure's captures outside the completion lock.
+    std::function<void()> release = std::move(node.task.work);
+    node.task.work = nullptr;
+
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      const int k = kind_index(node.task.kind);
+      node.timing.start_s = start;
+      node.timing.end_s = end;
+      node.timing.wait_s = start - node.timing.submit_s;
+      node.timing.failed = err != nullptr;
+      node.error = err;
+      node.status = Status::kDone;
+      busy[k] += end - start;
+      queue_wait += node.timing.wait_s;
+      ++completed;
+      if (err && !first_error) first_error = err;
+      --inflight[k];
+      --unfinished;
+      // Release successors: completion of the last dependency moves a
+      // blocked task straight into its kind's ready queue.
+      for (const std::size_t s : node.successors) {
+        Node& succ = nodes[s];
+        if (succ.status != Status::kBlocked) continue;
+        if (err) {
+          cancel_locked(s, err);
+          continue;
+        }
+        if (--succ.unmet == 0) {
+          succ.status = Status::kReady;
+          succ.timing.submit_s = now();
+          // Depth-first: a successor that just became ready jumps the
+          // queue. Draining in-flight chains before starting queued
+          // breadth is what lets a fast component's coarse level overlap a
+          // slow component's still-running leaves instead of parking
+          // behind them, and it bounds work-in-progress per chain.
+          ready[kind_index(succ.task.kind)].push_front(s);
+        }
+      }
+      node.successors.clear();
+      // Slot handoff: release this slot and dispatch whatever is ready —
+      // both kinds, since the released successors may be of either.
+      dispatch_locked(self, 0);
+      dispatch_locked(self, 1);
+    }
+    cv.notify_all();
+  }
+
+  /// Cooperative wait: claim and inline-run THIS engine's dispatched tasks
+  /// (which also guarantees progress when waiting from inside a pool worker
+  /// or on a pool of one), help bounded kernel chunks from the pool's chunk
+  /// queue, and otherwise nap briefly. Foreign coarse tasks are never
+  /// adopted. `done` is evaluated with `mutex` held.
+  void help_until(const std::shared_ptr<Impl>& self,
+                  const std::function<bool()>& done) {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!done()) {
+      Node* mine = nullptr;
+      while (!dispatched.empty()) {
+        const std::size_t i = dispatched.front();
+        dispatched.pop_front();
+        if (nodes[i].status == Status::kDispatched) {
+          nodes[i].status = Status::kRunning;
+          mine = &nodes[i];
+          break;
+        }
+      }
+      if (mine != nullptr) {
+        lock.unlock();
+        run_task(self, *mine);
+        lock.lock();
+        continue;
+      }
+      lock.unlock();
+      const bool helped = pool->try_help_chunk();
+      lock.lock();
+      if (!helped && !done()) {
+        cv.wait_for(lock, std::chrono::milliseconds(1), done);
+      }
+    }
+  }
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  util::Timer clock;  ///< engine-lifetime clock; all timings are relative
+  util::ThreadPool* pool;
+  std::array<int, 2> caps;
+  std::deque<Node> nodes;  ///< deque: stable references while growing
+  std::array<std::deque<std::size_t>, 2> ready;
+  /// Dispatched-but-not-yet-claimed tasks, coordinator-claimable; a task is
+  /// executed by whichever side (pool worker or waiting coordinator) claims
+  /// it first. Stale entries (already claimed) are skipped on pop.
+  std::deque<std::size_t> dispatched;
+  std::array<int, 2> inflight{0, 0};
+  std::size_t unfinished = 0;
+  std::exception_ptr first_error;
+  // Cumulative counters (EngineStats).
+  std::array<double, 2> busy{0.0, 0.0};
+  double queue_wait = 0.0;
+  std::array<std::size_t, 2> task_count{0, 0};
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+};
+
 WorkflowEngine::WorkflowEngine(const EngineOptions& options)
     : options_(options) {
   if (options.quantum_slots < 1 || options.classical_slots < 1) {
     throw std::invalid_argument("WorkflowEngine: slots must be >= 1");
   }
+  impl_ = std::make_shared<Impl>(options);
+}
+
+WorkflowEngine::~WorkflowEngine() {
+  std::exception_ptr ignored;
+  drain(&ignored);
+}
+
+util::ThreadPool& WorkflowEngine::pool() const noexcept {
+  return *impl_->pool;
+}
+
+TaskHandle WorkflowEngine::submit(Task task,
+                                  const std::vector<TaskHandle>& deps) {
+  if (!task.work) {
+    throw std::invalid_argument("WorkflowEngine::submit: empty task");
+  }
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  const std::size_t id = impl_->nodes.size();
+  for (const TaskHandle dep : deps) {
+    if (dep.id >= id) {
+      // Also catches self-dependency and invalid handles; cycles are
+      // impossible because a task can only depend on earlier submissions.
+      throw std::invalid_argument("WorkflowEngine::submit: bad dependency");
+    }
+  }
+  impl_->nodes.emplace_back();
+  Impl::Node& node = impl_->nodes.back();
+  node.task = std::move(task);
+  node.timing.task = id;
+  node.timing.kind = node.task.kind;
+  const int k = kind_index(node.task.kind);
+  ++impl_->task_count[k];
+  ++impl_->unfinished;
+
+  std::exception_ptr dep_error;
+  for (const TaskHandle dep : deps) {
+    Impl::Node& parent = impl_->nodes[dep.id];
+    switch (parent.status) {
+      case Impl::Status::kDone:
+        if (parent.error && !dep_error) dep_error = parent.error;
+        break;
+      case Impl::Status::kCancelled:
+        if (!dep_error) dep_error = parent.error;
+        break;
+      default:
+        parent.successors.push_back(id);
+        ++node.unmet;
+        break;
+    }
+  }
+  if (dep_error) {
+    impl_->cancel_locked(id, dep_error);
+    return TaskHandle{id};
+  }
+  if (node.unmet == 0) {
+    node.status = Impl::Status::kReady;
+    node.timing.submit_s = impl_->now();
+    impl_->ready[k].push_back(id);
+    impl_->dispatch_locked(impl_, k);
+  }
+  return TaskHandle{id};
+}
+
+bool WorkflowEngine::finished(TaskHandle handle) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (handle.id >= impl_->nodes.size()) {
+    throw std::out_of_range("WorkflowEngine::finished: unknown handle");
+  }
+  const auto status = impl_->nodes[handle.id].status;
+  return status == Impl::Status::kDone || status == Impl::Status::kCancelled;
+}
+
+void WorkflowEngine::wait(TaskHandle handle) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (handle.id >= impl_->nodes.size()) {
+      throw std::out_of_range("WorkflowEngine::wait: unknown handle");
+    }
+  }
+  Impl& st = *impl_;
+  st.help_until(impl_, [&st, handle] {
+    const auto status = st.nodes[handle.id].status;
+    return status == Impl::Status::kDone ||
+           status == Impl::Status::kCancelled;
+  });
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    err = st.nodes[handle.id].error;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void WorkflowEngine::drain(std::exception_ptr* error_out) {
+  Impl& st = *impl_;
+  st.help_until(impl_, [&st] { return st.unfinished == 0; });
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    err = std::exchange(st.first_error, nullptr);
+  }
+  if (error_out != nullptr) {
+    *error_out = err;
+  } else if (err) {
+    std::rethrow_exception(err);
+  }
+}
+
+TaskTiming WorkflowEngine::timing(TaskHandle handle) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (handle.id >= impl_->nodes.size()) {
+    throw std::out_of_range("WorkflowEngine::timing: unknown handle");
+  }
+  return impl_->nodes[handle.id].timing;
+}
+
+EngineStats WorkflowEngine::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  EngineStats out;
+  out.busy_quantum_seconds = impl_->busy[0];
+  out.busy_classical_seconds = impl_->busy[1];
+  out.queue_wait_seconds = impl_->queue_wait;
+  out.submitted = impl_->nodes.size();
+  out.completed = impl_->completed;
+  out.cancelled = impl_->cancelled;
+  out.quantum_tasks = impl_->task_count[0];
+  out.classical_tasks = impl_->task_count[1];
+  return out;
 }
 
 BatchReport WorkflowEngine::run_batch(std::vector<Task> tasks,
                                       std::exception_ptr* error_out) {
+  Impl& st = *impl_;
   BatchReport report;
-  const std::size_t n = tasks.size();
-  report.timings.resize(n);
-
-  // Coordinator state. Everything below lives on this frame; run_batch does
-  // not return until remaining == 0, so the closures handed to the pool
-  // never outlive it.
-  struct Shared {
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    std::array<std::deque<std::size_t>, 2> ready;
-    std::array<int, 2> inflight{0, 0};
-    std::array<std::size_t, 2> task_count{0, 0};
-    std::array<double, 2> busy{0.0, 0.0};
-    /// Dispatched-but-not-yet-claimed tasks, coordinator-claimable; a task
-    /// is executed by whichever side (pool worker or waiting coordinator)
-    /// claims it first.
-    std::deque<std::size_t> dispatched;
-    std::size_t remaining = 0;
-    std::exception_ptr first_error;
-  } st;
-  st.remaining = n;
-
-  // Claim flags live on the heap, shared into every pool wrapper: a task
-  // the coordinator already ran inline leaves its wrapper behind as a
-  // no-op, and that wrapper may be popped AFTER run_batch returned — it
-  // must not touch this frame. A wrapper that WINS the claim implies its
-  // task has not completed yet, so the frame is still alive for run_task.
-  struct ClaimState {
-    std::mutex mutex;
-    std::vector<bool> claimed;
-  };
-  auto claim_state = std::make_shared<ClaimState>();
-  claim_state->claimed.assign(n, false);
-
-  util::Timer clock;
-  for (std::size_t i = 0; i < n; ++i) {
-    const int k = kind_index(tasks[i].kind);
-    report.timings[i].task = i;
-    report.timings[i].kind = tasks[i].kind;
-    report.timings[i].submit_s = clock.seconds();
-    st.ready[k].push_back(i);
-    ++st.task_count[k];
+  // Validate the whole batch BEFORE submitting anything: a throw after a
+  // partial submission would return control to the caller while the
+  // submitted closures still run against its frame ("the batch still
+  // drains fully" would be broken exactly when it matters).
+  for (const Task& task : tasks) {
+    if (!task.work) {
+      throw std::invalid_argument("WorkflowEngine::run_batch: empty task");
+    }
+  }
+  const double t0 = st.now();
+  std::vector<std::size_t> ids;
+  ids.reserve(tasks.size());
+  for (Task& task : tasks) {
+    ids.push_back(submit(std::move(task)).id);
   }
 
-  util::ThreadPool& pool =
-      options_.pool != nullptr ? *options_.pool : util::ThreadPool::global();
-  const std::array<int, 2> caps = {options_.quantum_slots,
-                                   options_.classical_slots};
-
-  std::function<void(std::size_t)> run_task;
-
-  // Hand ready tasks of kind k to the pool while that kind has free slots.
-  // Called with st.mutex held. This replaces the old blocking semaphore:
-  // a task is only ever *submitted* once it holds its slot, so no pool
-  // thread can park in an acquire.
-  auto dispatch_locked = [&](int k) {
-    while (st.inflight[k] < caps[k] && !st.ready[k].empty()) {
-      const std::size_t i = st.ready[k].front();
-      st.ready[k].pop_front();
-      ++st.inflight[k];
-      st.dispatched.push_back(i);
-      // The wrapper touches ONLY claim_state until it wins the claim; a
-      // won claim implies the batch is still draining, so the frame (and
-      // run_task) is alive.
-      pool.submit([claim_state, &run_task, i] {
-        {
-          std::lock_guard<std::mutex> lock(claim_state->mutex);
-          if (claim_state->claimed[i]) return;
-          claim_state->claimed[i] = true;
-        }
-        run_task(i);
-      });
+  // Wait for exactly this batch; the cursor makes the repeated predicate
+  // evaluation amortized O(n) over the whole wait.
+  std::size_t cursor = 0;
+  st.help_until(impl_, [&st, &ids, &cursor] {
+    while (cursor < ids.size()) {
+      const auto status = st.nodes[ids[cursor]].status;
+      if (status != Impl::Status::kDone &&
+          status != Impl::Status::kCancelled) {
+        return false;
+      }
+      ++cursor;
     }
-  };
+    return true;
+  });
 
-  run_task = [&](std::size_t i) {
-    const int k = kind_index(tasks[i].kind);
-    const double start = clock.seconds();
-    std::exception_ptr err;
-    // A failing task must not abandon the batch while siblings still
-    // reference this frame; the first error is rethrown once everything
-    // has drained. Its timing and partial runtime are recorded like any
-    // other task's so the report stays accountable.
-    try {
-      tasks[i].work();
-    } catch (...) {
-      err = std::current_exception();
-    }
-    const double end = clock.seconds();
-
-    std::lock_guard<std::mutex> lock(st.mutex);
-    TaskTiming& t = report.timings[i];
-    t.start_s = start;
-    t.end_s = end;
-    t.wait_s = start - t.submit_s;
-    t.failed = err != nullptr;
-    report.busy_seconds += end - start;
-    st.busy[k] += end - start;
-    if (err && !st.first_error) st.first_error = err;
-    --st.inflight[k];
-    --st.remaining;
-    // Slot handoff: release the slot and dispatch the next ready task of
-    // this kind in one step.
-    dispatch_locked(k);
-    if (st.remaining == 0) st.done_cv.notify_all();
-  };
-
+  std::exception_ptr batch_error;
+  double first_fail_end = 0.0;
+  std::array<double, 2> busy{0.0, 0.0};
+  std::array<std::size_t, 2> count{0, 0};
   {
-    std::unique_lock<std::mutex> lock(st.mutex);
-    dispatch_locked(0);
-    dispatch_locked(1);
-    while (st.remaining != 0) {
-      // Cooperative wait, restricted to work that belongs here: (1) THIS
-      // batch's dispatched-but-unclaimed tasks, run inline — which also
-      // guarantees progress when run_batch is issued from inside a pool
-      // worker or on a pool of one; (2) bounded kernel chunks from the
-      // pool's chunk queue. Foreign coarse tasks are never adopted, so the
-      // batch returns (and stops the wall clock) as soon as its own work
-      // drains.
-      std::size_t mine = n;  // n = none
-      while (!st.dispatched.empty()) {
-        const std::size_t i = st.dispatched.front();
-        st.dispatched.pop_front();
-        std::lock_guard<std::mutex> claim_lock(claim_state->mutex);
-        if (!claim_state->claimed[i]) {
-          claim_state->claimed[i] = true;
-          mine = i;
+    std::lock_guard<std::mutex> lock(st.mutex);
+    report.timings.reserve(ids.size());
+    for (std::size_t b = 0; b < ids.size(); ++b) {
+      const Impl::Node& node = st.nodes[ids[b]];
+      TaskTiming t = node.timing;
+      t.task = b;
+      t.submit_s -= t0;
+      t.start_s -= t0;
+      t.end_s -= t0;
+      const int k = kind_index(t.kind);
+      busy[k] += t.end_s - t.start_s;
+      ++count[k];
+      report.busy_seconds += t.end_s - t.start_s;
+      // Chronologically first failure, matching the order completions were
+      // observed by the old per-batch engine.
+      if (node.error &&
+          (!batch_error || node.timing.end_s < first_fail_end)) {
+        batch_error = node.error;
+        first_fail_end = node.timing.end_s;
+      }
+      report.timings.push_back(t);
+    }
+    // This batch's errors are delivered here (or to error_out); don't leave
+    // them poisoning a later drain().
+    if (batch_error && st.first_error) {
+      for (const std::size_t id : ids) {
+        if (st.nodes[id].error == st.first_error) {
+          st.first_error = nullptr;
           break;
         }
       }
-      if (mine != n) {
-        lock.unlock();
-        run_task(mine);
-        lock.lock();
-        continue;
-      }
-      lock.unlock();
-      const bool helped = pool.try_help_chunk();
-      lock.lock();
-      if (!helped && st.remaining != 0) {
-        st.done_cv.wait_for(lock, std::chrono::milliseconds(1), [&st] {
-          return st.remaining == 0;
-        });
-      }
     }
   }
-  if (error_out != nullptr) {
-    *error_out = st.first_error;
-  } else if (st.first_error) {
-    std::rethrow_exception(st.first_error);
-  }
 
-  report.wall_seconds = clock.seconds();
-  report.busy_quantum_seconds = st.busy[0];
-  report.busy_classical_seconds = st.busy[1];
-
-  // Ideal parallel time, per resource kind actually used: a kind's busy
-  // time cannot drain faster than its own slots (or the pool) allow, and
-  // the total cannot drain faster than the in-use slots / pool permit.
-  // Kinds with no tasks contribute nothing — their slots are unusable by
-  // the batch and must not dilute the estimate (the old formula divided an
-  // all-quantum batch by quantum_slots + classical_slots).
-  const double pool_width = static_cast<double>(std::max<std::size_t>(
-      std::size_t{1}, pool.size()));
-  double ideal = 0.0;
-  double busy_used = 0.0;
-  int slots_used = 0;
-  for (int k = 0; k < 2; ++k) {
-    if (st.task_count[k] == 0) continue;
-    ideal = std::max(ideal,
-                     st.busy[k] / std::min<double>(caps[k], pool_width));
-    busy_used += st.busy[k];
-    slots_used += caps[k];
-  }
-  if (slots_used > 0) {
-    ideal = std::max(ideal,
-                     busy_used / std::min<double>(slots_used, pool_width));
-  }
+  report.wall_seconds = st.now() - t0;
+  report.busy_quantum_seconds = busy[0];
+  report.busy_classical_seconds = busy[1];
+  const std::size_t width =
+      std::max<std::size_t>(std::size_t{1}, st.pool->size());
+  const double ideal = ideal_parallel_seconds(busy[0], busy[1], count[0],
+                                              count[1], options_, width);
   report.coordination_seconds = std::max(0.0, report.wall_seconds - ideal);
+
+  if (error_out != nullptr) {
+    *error_out = batch_error;
+  } else if (batch_error) {
+    std::rethrow_exception(batch_error);
+  }
   return report;
 }
 

@@ -9,18 +9,28 @@
 // tagged kQuantum run concurrently (the simulated QPUs) and at most
 // `classical_slots` tasks tagged kClassical (the CPU partition).
 //
-// The engine is NON-BLOCKING: the coordinator keeps per-resource ready
-// queues and hands at most `slots` tasks of a kind to the thread pool at a
-// time; when a task finishes, its worker dispatches the next ready task of
-// that kind before returning to the pool. No pool thread ever parks waiting
-// for a slot (the old semaphore-per-kind design serialized whole batches by
-// parking workers behind a long quantum queue), and the coordinator itself
-// help-runs queued work while it waits, so a batch issued from inside a
-// pool worker — or on a pool of one — still completes.
+// The engine is PERSISTENT and DEPENDENCY-AWARE: `submit(task, deps)`
+// returns a TaskHandle immediately; a task enters its resource kind's ready
+// queue once every dependency has completed, and completion of a task hands
+// its slot to the next ready task of that kind AND enqueues any successors
+// that just became ready — the coordinator thread never mediates a
+// dependency edge. One engine (and one thread pool) can therefore stay
+// alive across an entire QAOA^2 solve, streaming tasks of many components
+// and recursion levels through the same slot budget.
+//
+// The engine is NON-BLOCKING: at most `slots` tasks of a kind are handed to
+// the thread pool at a time; no pool thread ever parks waiting for a slot,
+// and a waiting caller (`wait`/`drain`/`run_batch`) help-runs this engine's
+// dispatched tasks plus bounded pool chunk work, so waits issued from
+// inside a pool worker — or on a pool of one — still complete.
+//
+// `run_batch` remains as a thin compatibility wrapper: submit every task
+// with no dependencies, wait for that batch, report batch-relative timings.
 
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace qq::util {
@@ -46,15 +56,26 @@ struct Task {
   std::function<void()> work;
 };
 
+/// Opaque reference to a submitted task; valid for the engine's lifetime.
+struct TaskHandle {
+  static constexpr std::size_t kInvalid = static_cast<std::size_t>(-1);
+  std::size_t id = kInvalid;
+  bool valid() const noexcept { return id != kInvalid; }
+};
+
 struct TaskTiming {
   std::size_t task = 0;
   ResourceKind kind = ResourceKind::kClassical;
-  double submit_s = 0.0;  ///< entry into the coordinator's ready queue,
-                          ///< relative to batch start
+  double submit_s = 0.0;  ///< entry into the engine's ready queue (for a
+                          ///< dependent task: the moment its last dependency
+                          ///< completed), relative to the clock origin —
+                          ///< engine construction for timing(), batch start
+                          ///< inside a BatchReport
   double start_s = 0.0;   ///< `work` began executing
   double end_s = 0.0;     ///< `work` returned (or threw)
   double wait_s = 0.0;    ///< start_s - submit_s: slot wait + pool queueing
-  bool failed = false;    ///< `work` exited via an exception
+  bool failed = false;    ///< `work` exited via an exception, or cancelled
+  bool cancelled = false; ///< never ran: a (transitive) dependency failed
 };
 
 struct BatchReport {
@@ -65,33 +86,93 @@ struct BatchReport {
   double busy_quantum_seconds = 0.0;
   double busy_classical_seconds = 0.0;
   /// Wall time minus the ideal-parallel-time estimate of the useful work —
-  /// the "coordination overhead is minimal" check. The ideal is computed
-  /// per resource kind actually present in the batch (an all-quantum batch
-  /// is bounded by its quantum slots alone; classical slots it cannot use
-  /// must not inflate the divisor) and lower-bounded by total CPU demand
-  /// over the slots in use.
+  /// the "coordination overhead is minimal" check. See
+  /// ideal_parallel_seconds.
   double coordination_seconds = 0.0;
   std::vector<TaskTiming> timings;
 };
 
+/// Cumulative engine counters since construction; snapshot via
+/// WorkflowEngine::stats().
+struct EngineStats {
+  double busy_quantum_seconds = 0.0;
+  double busy_classical_seconds = 0.0;
+  /// Σ per-task (start - ready) across every executed task.
+  double queue_wait_seconds = 0.0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;  ///< ran to completion, including failed tasks
+  std::size_t cancelled = 0;  ///< skipped because a dependency failed
+  std::size_t quantum_tasks = 0;
+  std::size_t classical_tasks = 0;
+};
+
+/// Ideal parallel drain time for the given per-kind busy totals, computed
+/// per resource kind actually present: a kind's busy time cannot drain
+/// faster than its own slots (or the pool) allow, and the total cannot
+/// drain faster than the in-use slots / pool permit. Kinds with no tasks
+/// contribute nothing — their slots are unusable and must not dilute the
+/// estimate.
+double ideal_parallel_seconds(double busy_quantum, double busy_classical,
+                              std::size_t quantum_tasks,
+                              std::size_t classical_tasks,
+                              const EngineOptions& options,
+                              std::size_t pool_width);
+
 class WorkflowEngine {
  public:
   explicit WorkflowEngine(const EngineOptions& options);
+  /// Drains every submitted task (cooperatively, without rethrowing) so no
+  /// task closure outlives the frames it captures.
+  ~WorkflowEngine();
+
+  WorkflowEngine(const WorkflowEngine&) = delete;
+  WorkflowEngine& operator=(const WorkflowEngine&) = delete;
 
   const EngineOptions& options() const noexcept { return options_; }
+  /// The pool tasks execute on (options().pool or the global pool).
+  util::ThreadPool& pool() const noexcept;
 
-  /// Run every task respecting the slot limits; blocks until all complete
-  /// (cooperatively: the calling thread help-runs queued work while it
-  /// waits). If tasks throw, the batch still drains fully; the first
-  /// exception is rethrown — unless `error_out` is non-null, in which case
-  /// it is stored there and the report (including the failed tasks'
-  /// timings and partial runtimes) is returned normally. See
-  /// TaskTiming::failed for per-task outcomes.
+  /// Enqueue `task` to run once every task in `deps` has completed
+  /// successfully. A task with no (remaining) dependencies enters its
+  /// kind's ready queue immediately. If any dependency failed or was
+  /// cancelled, the task is cancelled instead of run, transitively.
+  /// Thread-safe; callable from inside a running task (dynamic task
+  /// graphs).
+  TaskHandle submit(Task task, const std::vector<TaskHandle>& deps = {});
+
+  /// True once the task has run (or been cancelled).
+  bool finished(TaskHandle handle) const;
+
+  /// Cooperatively help-run engine tasks until `handle` completes, then
+  /// rethrow its error if it failed (a cancelled task rethrows the
+  /// dependency's error).
+  void wait(TaskHandle handle);
+
+  /// Cooperatively help-run until every submitted task has completed. The
+  /// first error observed since the last drain/run_batch is rethrown —
+  /// unless `error_out` is non-null, in which case it is stored there.
+  void drain(std::exception_ptr* error_out = nullptr);
+
+  /// Timing of a completed (or cancelled) task, relative to engine
+  /// construction.
+  TaskTiming timing(TaskHandle handle) const;
+
+  EngineStats stats() const;
+
+  /// Compatibility wrapper: run every task respecting the slot limits;
+  /// blocks until all complete (cooperatively). If tasks throw, the batch
+  /// still drains fully; the first exception is rethrown — unless
+  /// `error_out` is non-null, in which case it is stored there and the
+  /// report (including the failed tasks' timings and partial runtimes) is
+  /// returned normally. Timings are relative to batch start.
   BatchReport run_batch(std::vector<Task> tasks,
                         std::exception_ptr* error_out = nullptr);
 
  private:
+  struct Impl;
+
   EngineOptions options_;
+  std::shared_ptr<Impl> impl_;
 };
 
 }  // namespace qq::sched

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "qaoa/qaoa.hpp"
+#include "qaoa2/qaoa2.hpp"
 #include "qgraph/generators.hpp"
 #include "qsim/kernel_detail.hpp"
 #include "qsim/measure.hpp"
@@ -105,6 +106,42 @@ TEST(NestedParallel, EngineQaoaOptimizeMatchesDirectBitForBit) {
     EXPECT_EQ(through_engine.parameters[i], direct.parameters[i]);
   }
   EXPECT_EQ(through_engine.cut.assignment, direct.cut.assignment);
+}
+
+TEST(NestedParallel, StreamingQaoa2MatchesRecursiveWithNestedKernels) {
+  // Full QAOA^2 with QAOA sub-solves on the pinned 4-thread pool: the
+  // streaming pipeline interleaves components and levels arbitrarily and
+  // nests every state-vector kernel inside engine tasks, yet the cut must
+  // equal the level-barrier recursive pipeline's bit for bit.
+  util::Rng rng(101);
+  graph::Graph g(40);
+  // Two components of different depth-to-solve (24 + 16 nodes).
+  const graph::Graph a = graph::erdos_renyi(24, 0.2, rng);
+  for (const graph::Edge& e : a.edges()) g.add_edge(e.u, e.v, e.w);
+  const graph::Graph b = graph::erdos_renyi(16, 0.3, rng);
+  for (const graph::Edge& e : b.edges()) g.add_edge(e.u + 24, e.v + 24, e.w);
+
+  qaoa2::Qaoa2Options opts;
+  opts.max_qubits = 6;
+  opts.sub_solver = qaoa2::SubSolver::kQaoa;
+  opts.qaoa.layers = 2;
+  opts.qaoa.max_iterations = 12;
+  opts.qaoa.shots = 128;
+  opts.merge_solver = qaoa2::SubSolver::kGw;
+  opts.seed = 57;
+  opts.engine = sched::EngineOptions{2, 2};
+
+  opts.streaming = false;
+  const qaoa2::Qaoa2Result recursive = qaoa2::solve_qaoa2(g, opts);
+  opts.streaming = true;
+  const qaoa2::Qaoa2Result streaming = qaoa2::solve_qaoa2(g, opts);
+
+  EXPECT_EQ(streaming.cut.value, recursive.cut.value);
+  EXPECT_EQ(streaming.cut.assignment, recursive.cut.assignment);
+  EXPECT_EQ(streaming.components, 2);
+  EXPECT_EQ(streaming.subgraphs_total, recursive.subgraphs_total);
+  EXPECT_GT(streaming.engine_tasks, streaming.subgraphs_total)
+      << "partition/merge stages should run as engine tasks";
 }
 
 TEST(NestedParallel, SampleStreamIdenticalUnderNesting) {

@@ -11,6 +11,7 @@
 #include "qaoa2/qaoa2.hpp"
 #include "qgraph/generators.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qq::qaoa2 {
 namespace {
@@ -108,6 +109,13 @@ TEST(Qaoa2, SmallGraphBypassesPartitioning) {
   const Qaoa2Result r = solve_qaoa2(g, opts);
   EXPECT_EQ(r.subgraphs_total, 1);
   EXPECT_DOUBLE_EQ(r.cut.value, maxcut::solve_exact(g).value);
+  // The base case records its level too (it used to be missing from
+  // level_stats entirely).
+  ASSERT_EQ(r.level_stats.size(), 1u);
+  EXPECT_EQ(r.level_stats[0].level, 0);
+  EXPECT_EQ(r.level_stats[0].num_parts, 1);
+  EXPECT_EQ(r.level_stats[0].largest_part, g.num_nodes());
+  EXPECT_NEAR(r.level_stats[0].level_cut, r.cut.value, 1e-12);
 }
 
 TEST(Qaoa2, ExactSubSolverWithExactMergeIsNearExactOnClustered) {
@@ -258,11 +266,18 @@ TEST(Qaoa2, LevelStatsAreConsistent) {
   EXPECT_GT(top.num_parts, 1);
   EXPECT_LE(top.largest_part, 8);
   EXPECT_GE(top.smallest_part, 1);
-  // Every part is solved once, plus exactly one final coarse solve at the
-  // bottom of the recursion chain.
+  // Every solve — including the final coarse solve, which is recorded as a
+  // one-part level — appears in exactly one level's part count.
   int total_parts = 0;
   for (const auto& ls : r.level_stats) total_parts += ls.num_parts;
-  EXPECT_EQ(r.subgraphs_total, total_parts + 1);
+  EXPECT_EQ(r.subgraphs_total, total_parts);
+  // Levels are reported ascending and the final level is the single coarse
+  // solve at the bottom of the recursion chain.
+  for (std::size_t i = 1; i < r.level_stats.size(); ++i) {
+    EXPECT_GT(r.level_stats[i].level, r.level_stats[i - 1].level);
+  }
+  EXPECT_EQ(r.level_stats.back().num_parts, 1);
+  EXPECT_EQ(static_cast<int>(r.level_stats.size()), r.levels);
 }
 
 TEST(Qaoa2, OptionValidation) {
@@ -278,6 +293,160 @@ TEST(Qaoa2, SolverNamesAreStable) {
   EXPECT_STREQ(sub_solver_name(SubSolver::kQaoa), "qaoa");
   EXPECT_STREQ(sub_solver_name(SubSolver::kGw), "gw");
   EXPECT_STREQ(sub_solver_name(SubSolver::kBest), "best");
+}
+
+TEST(Qaoa2, ParseSubSolverRoundTrips) {
+  for (const SubSolver s :
+       {SubSolver::kQaoa, SubSolver::kGw, SubSolver::kBest, SubSolver::kExact,
+        SubSolver::kAnneal, SubSolver::kLocalSearch, SubSolver::kRqaoa}) {
+    const auto parsed = parse_sub_solver(sub_solver_name(s));
+    ASSERT_TRUE(parsed.has_value()) << sub_solver_name(s);
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(parse_sub_solver("").has_value());
+  EXPECT_FALSE(parse_sub_solver("QAOA").has_value());
+  EXPECT_FALSE(parse_sub_solver("goemans").has_value());
+}
+
+// ------------------------------------------------- component sharding ----
+
+namespace {
+
+/// Two ER blobs of different size plus two isolated nodes.
+Graph disconnected_test_graph() {
+  util::Rng rng(27);
+  Graph g(30);
+  const Graph a = graph::erdos_renyi(16, 0.3, rng);
+  for (const graph::Edge& e : a.edges()) g.add_edge(e.u, e.v, e.w);
+  const Graph b = graph::erdos_renyi(12, 0.4, rng);
+  for (const graph::Edge& e : b.edges()) g.add_edge(e.u + 16, e.v + 16, e.w);
+  // nodes 28, 29 stay isolated
+  return g;
+}
+
+}  // namespace
+
+TEST(Qaoa2, ComponentSeedIsIdentityForConnectedGraphs) {
+  EXPECT_EQ(component_seed(12345u, 0, 1), 12345u);
+  EXPECT_NE(component_seed(12345u, 0, 2), component_seed(12345u, 1, 2));
+  EXPECT_NE(component_seed(12345u, 0, 2), 12345u);
+}
+
+TEST(Qaoa2, DisconnectedGraphShardsToIndependentComponentSolves) {
+  const Graph g = disconnected_test_graph();
+  const auto comps = graph::connected_components(g);
+  ASSERT_EQ(comps.size(), 4u);  // 2 blobs + 2 isolated nodes
+
+  Qaoa2Options opts;
+  opts.max_qubits = 6;
+  opts.sub_solver = SubSolver::kLocalSearch;
+  opts.merge_solver = SubSolver::kExact;
+  opts.seed = 31;
+
+  for (const bool streaming : {true, false}) {
+    opts.streaming = streaming;
+    const Qaoa2Result r = solve_qaoa2(g, opts);
+    EXPECT_EQ(r.components, 4);
+    EXPECT_NEAR(maxcut::cut_value(g, r.cut.assignment), r.cut.value, 1e-9);
+
+    // Sharding must reproduce, per component, exactly what an independent
+    // solve of that component (seeded with its component_seed) produces.
+    double sum = 0.0;
+    for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+      const graph::Subgraph sub = g.induced(comps[ci]);
+      Qaoa2Options copts = opts;
+      copts.seed = component_seed(opts.seed, ci, comps.size());
+      const Qaoa2Result rc = solve_qaoa2(sub.graph, copts);
+      sum += rc.cut.value;
+      ASSERT_EQ(rc.cut.assignment.size(), comps[ci].size());
+      for (std::size_t j = 0; j < comps[ci].size(); ++j) {
+        EXPECT_EQ(r.cut.assignment[static_cast<std::size_t>(comps[ci][j])],
+                  rc.cut.assignment[j])
+            << "component " << ci << " node " << j
+            << " streaming=" << streaming;
+      }
+    }
+    EXPECT_NEAR(r.cut.value, sum, 1e-9);
+  }
+}
+
+TEST(Qaoa2, IsolatedNodesOnlyGraphSolvesTrivially) {
+  const Graph g(9);  // no edges at all, but > max_qubits nodes
+  Qaoa2Options opts;
+  opts.max_qubits = 4;
+  opts.sub_solver = SubSolver::kExact;
+  opts.merge_solver = SubSolver::kExact;
+  for (const bool streaming : {true, false}) {
+    opts.streaming = streaming;
+    const Qaoa2Result r = solve_qaoa2(g, opts);
+    EXPECT_EQ(r.components, 9);
+    EXPECT_DOUBLE_EQ(r.cut.value, 0.0);
+    EXPECT_EQ(r.cut.assignment,
+              maxcut::Assignment(static_cast<std::size_t>(g.num_nodes()), 0));
+  }
+}
+
+// -------------------------------------- streaming-vs-recursive parity ----
+
+TEST(Qaoa2, StreamingMatchesRecursiveBitForBit) {
+  util::Rng rng(29);
+  const Graph connected = graph::erdos_renyi(26, 0.2, rng);
+  const Graph disconnected = disconnected_test_graph();
+  for (const Graph* g : {&connected, &disconnected}) {
+    Qaoa2Options opts;
+    opts.max_qubits = 6;
+    opts.sub_solver = SubSolver::kQaoa;
+    opts.qaoa.layers = 2;
+    opts.qaoa.max_iterations = 25;
+    opts.merge_solver = SubSolver::kGw;
+    opts.seed = 33;
+    opts.streaming = false;
+    const Qaoa2Result recursive = solve_qaoa2(*g, opts);
+    opts.streaming = true;
+    const Qaoa2Result streaming = solve_qaoa2(*g, opts);
+    EXPECT_EQ(streaming.cut.value, recursive.cut.value);
+    EXPECT_EQ(streaming.cut.assignment, recursive.cut.assignment);
+    EXPECT_EQ(streaming.levels, recursive.levels);
+    EXPECT_EQ(streaming.subgraphs_total, recursive.subgraphs_total);
+    EXPECT_EQ(streaming.quantum_solves, recursive.quantum_solves);
+    EXPECT_EQ(streaming.classical_solves, recursive.classical_solves);
+    ASSERT_EQ(streaming.level_stats.size(), recursive.level_stats.size());
+    for (std::size_t i = 0; i < recursive.level_stats.size(); ++i) {
+      EXPECT_EQ(streaming.level_stats[i].level,
+                recursive.level_stats[i].level);
+      EXPECT_EQ(streaming.level_stats[i].num_parts,
+                recursive.level_stats[i].num_parts);
+      EXPECT_EQ(streaming.level_stats[i].level_cut,
+                recursive.level_stats[i].level_cut);
+    }
+  }
+}
+
+TEST(Qaoa2, StreamingBitForBitAcrossEnginePoolWidths) {
+  // The task-graph schedule changes with the pool width; the cut must not.
+  // Pools of width 1, 3, and 8 are injected through EngineOptions so the
+  // solve is exercised at QQ_THREADS-like widths within one process.
+  const Graph g = disconnected_test_graph();
+  Qaoa2Options opts;
+  opts.max_qubits = 6;
+  opts.sub_solver = SubSolver::kQaoa;
+  opts.qaoa.layers = 2;
+  opts.qaoa.max_iterations = 20;
+  opts.merge_solver = SubSolver::kGw;
+  opts.seed = 35;
+  const Qaoa2Result reference = solve_qaoa2(g, opts);  // default pool
+  for (const std::size_t threads : {1u, 3u, 8u}) {
+    util::ThreadPool pool(threads);
+    opts.engine.pool = &pool;
+    for (const bool streaming : {true, false}) {
+      opts.streaming = streaming;
+      const Qaoa2Result r = solve_qaoa2(g, opts);
+      EXPECT_EQ(r.cut.value, reference.cut.value)
+          << "threads=" << threads << " streaming=" << streaming;
+      EXPECT_EQ(r.cut.assignment, reference.cut.assignment)
+          << "threads=" << threads << " streaming=" << streaming;
+    }
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "qgraph/modularity.hpp"
 #include "qgraph/partition.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qq::graph {
 namespace {
@@ -119,6 +120,69 @@ TEST(Graph, ConnectedComponents) {
   EXPECT_TRUE(is_connected(cycle_graph(5)));
   EXPECT_TRUE(is_connected(Graph(1)));
   EXPECT_TRUE(is_connected(Graph(0)));
+}
+
+TEST(Graph, ComponentSubgraphsShardByComponent) {
+  Graph g(6);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  g.add_edge(3, 4, 5.0);
+  const auto shards = component_subgraphs(g);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].to_global, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(shards[0].graph.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(shards[0].graph.edge_weight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(shards[0].graph.edge_weight(1, 2), 3.0);
+  EXPECT_EQ(shards[1].to_global, (std::vector<NodeId>{3, 4}));
+  EXPECT_DOUBLE_EQ(shards[1].graph.edge_weight(0, 1), 5.0);
+  EXPECT_EQ(shards[2].graph.num_nodes(), 1);
+  EXPECT_EQ(shards[2].graph.num_edges(), 0u);
+}
+
+TEST(Graph, ComponentSubgraphOfConnectedGraphIsStructurallyIdentical) {
+  // The QAOA^2 sharding relies on this: for a connected graph the single
+  // shard must preserve node ids AND edge insertion order, so every
+  // downstream deterministic consumer (partitioner, seeds) sees the same
+  // graph it would have seen unsharded.
+  util::Rng rng(51);
+  const Graph g = erdos_renyi(24, 0.2, rng);
+  ASSERT_TRUE(is_connected(g));
+  const auto shards = component_subgraphs(g);
+  ASSERT_EQ(shards.size(), 1u);
+  const Graph& s = shards[0].graph;
+  EXPECT_EQ(s.num_nodes(), g.num_nodes());
+  ASSERT_EQ(s.num_edges(), g.num_edges());
+  for (std::size_t e = 0; e < g.edges().size(); ++e) {
+    EXPECT_EQ(s.edges()[e].u, g.edges()[e].u);
+    EXPECT_EQ(s.edges()[e].v, g.edges()[e].v);
+    EXPECT_EQ(s.edges()[e].w, g.edges()[e].w);
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(shards[0].to_global[static_cast<std::size_t>(u)], u);
+  }
+}
+
+TEST(Graph, InducedBatchMatchesSerialInducedAtAnyPoolWidth) {
+  util::Rng rng(53);
+  const Graph g = erdos_renyi(30, 0.2, rng);
+  const std::vector<std::vector<NodeId>> parts = {
+      {0, 1, 2, 3, 4, 5}, {6, 7, 8, 9}, {10, 11, 12, 13, 14, 15, 16},
+      {17, 18, 19, 20, 21}, {22, 23, 24, 25, 26, 27, 28, 29}};
+  for (const std::size_t threads : {1u, 4u}) {
+    util::ThreadPool pool(threads);
+    const auto batch = induced_batch(g, parts, &pool);
+    ASSERT_EQ(batch.size(), parts.size());
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const Subgraph serial = g.induced(parts[i]);
+      EXPECT_EQ(batch[i].to_global, serial.to_global);
+      ASSERT_EQ(batch[i].graph.num_edges(), serial.graph.num_edges());
+      for (std::size_t e = 0; e < serial.graph.edges().size(); ++e) {
+        EXPECT_EQ(batch[i].graph.edges()[e].u, serial.graph.edges()[e].u);
+        EXPECT_EQ(batch[i].graph.edges()[e].v, serial.graph.edges()[e].v);
+        EXPECT_EQ(batch[i].graph.edges()[e].w, serial.graph.edges()[e].w);
+      }
+    }
+  }
 }
 
 // ----------------------------------------------------------- generators ----

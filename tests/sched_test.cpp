@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <functional>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -457,6 +459,280 @@ TEST(Engine, EmptyBatchIsFine) {
   const BatchReport report = engine.run_batch({});
   EXPECT_EQ(report.timings.size(), 0u);
   EXPECT_DOUBLE_EQ(report.busy_seconds, 0.0);
+}
+
+// ------------------------------------------- persistent task graph ----
+
+TEST(Engine, SubmitChainRunsInDependencyOrder) {
+  WorkflowEngine engine(EngineOptions{2, 2});
+  std::mutex mutex;
+  std::vector<int> order;
+  auto record = [&](int id) {
+    std::lock_guard<std::mutex> lock(mutex);
+    order.push_back(id);
+  };
+  const TaskHandle a =
+      engine.submit({ResourceKind::kQuantum, [&] { record(0); }});
+  const TaskHandle b =
+      engine.submit({ResourceKind::kClassical, [&] { record(1); }}, {a});
+  const TaskHandle c =
+      engine.submit({ResourceKind::kQuantum, [&] { record(2); }}, {b});
+  engine.wait(c);
+  EXPECT_TRUE(engine.finished(a));
+  EXPECT_TRUE(engine.finished(b));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  engine.drain();
+}
+
+TEST(Engine, DiamondDependenciesJoinBeforeSuccessor) {
+  WorkflowEngine engine(EngineOptions{2, 2});
+  std::atomic<int> fanned{0};
+  std::atomic<int> join_saw{-1};
+  const TaskHandle root =
+      engine.submit({ResourceKind::kClassical, [&] { fanned += 1; }});
+  std::vector<TaskHandle> mid;
+  for (int i = 0; i < 6; ++i) {
+    mid.push_back(engine.submit({i % 2 == 0 ? ResourceKind::kQuantum
+                                            : ResourceKind::kClassical,
+                                 [&] {
+                                   std::this_thread::sleep_for(
+                                       std::chrono::milliseconds(2));
+                                   fanned += 1;
+                                 }},
+                                {root}));
+  }
+  const TaskHandle join = engine.submit(
+      {ResourceKind::kClassical, [&] { join_saw = fanned.load(); }}, mid);
+  engine.wait(join);
+  EXPECT_EQ(join_saw.load(), 7);  // root + all six mid tasks done first
+}
+
+TEST(Engine, DependencyOnCompletedTaskIsImmediatelyReady) {
+  WorkflowEngine engine(EngineOptions{1, 1});
+  std::atomic<int> runs{0};
+  const TaskHandle a =
+      engine.submit({ResourceKind::kClassical, [&] { runs++; }});
+  engine.wait(a);
+  const TaskHandle b =
+      engine.submit({ResourceKind::kClassical, [&] { runs++; }}, {a});
+  engine.wait(b);
+  EXPECT_EQ(runs.load(), 2);
+}
+
+TEST(Engine, TasksSubmittedFromInsideTasksKeepFlowing) {
+  // Dynamic task graphs: a running task submits its own successors (the
+  // streaming QAOA^2 pipeline's shape). drain() must see them all.
+  WorkflowEngine engine(EngineOptions{2, 2});
+  std::atomic<int> runs{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    runs++;
+    if (depth == 0) return;
+    engine.submit({ResourceKind::kClassical, [&spawn, depth] {
+                     spawn(depth - 1);
+                   }});
+    engine.submit({ResourceKind::kQuantum, [&spawn, depth] {
+                     spawn(depth - 1);
+                   }});
+  };
+  engine.submit({ResourceKind::kClassical, [&spawn] { spawn(3); }});
+  engine.drain();
+  // 1 root + 2 + 4 + 8 spawned tasks, each counted once.
+  EXPECT_EQ(runs.load(), 15);
+}
+
+TEST(Engine, FailedDependencyCancelsSuccessorsTransitively) {
+  WorkflowEngine engine(EngineOptions{1, 1});
+  std::atomic<int> runs{0};
+  const TaskHandle ok =
+      engine.submit({ResourceKind::kClassical, [&] { runs++; }});
+  const TaskHandle bad = engine.submit({ResourceKind::kClassical, [] {
+                                          throw std::runtime_error("boom");
+                                        }});
+  const TaskHandle child =
+      engine.submit({ResourceKind::kClassical, [&] { runs++; }}, {bad, ok});
+  const TaskHandle grandchild =
+      engine.submit({ResourceKind::kClassical, [&] { runs++; }}, {child});
+  std::exception_ptr error;
+  engine.drain(&error);
+  ASSERT_TRUE(error != nullptr);
+  EXPECT_THROW(std::rethrow_exception(error), std::runtime_error);
+  EXPECT_EQ(runs.load(), 1);  // only `ok` ran
+  EXPECT_TRUE(engine.timing(child).cancelled);
+  EXPECT_TRUE(engine.timing(child).failed);
+  EXPECT_TRUE(engine.timing(grandchild).cancelled);
+  EXPECT_FALSE(engine.timing(ok).failed);
+  // A fresh dependant of the failed task is cancelled at submit time.
+  const TaskHandle late =
+      engine.submit({ResourceKind::kClassical, [&] { runs++; }}, {bad});
+  EXPECT_TRUE(engine.finished(late));
+  EXPECT_THROW(engine.wait(late), std::runtime_error);
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(Engine, WaitRethrowsTheTasksError) {
+  WorkflowEngine engine(EngineOptions{1, 1});
+  const TaskHandle bad = engine.submit({ResourceKind::kQuantum, [] {
+                                          throw std::logic_error("task");
+                                        }});
+  EXPECT_THROW(engine.wait(bad), std::logic_error);
+  std::exception_ptr drained;
+  engine.drain(&drained);  // the error is still reported to drain once
+  EXPECT_TRUE(drained != nullptr);
+}
+
+TEST(Engine, SubmitValidatesDependencyHandles) {
+  WorkflowEngine engine(EngineOptions{1, 1});
+  EXPECT_THROW(engine.submit({ResourceKind::kClassical, [] {}},
+                             {TaskHandle{}}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.submit({ResourceKind::kClassical, [] {}},
+                             {TaskHandle{99}}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.submit({ResourceKind::kClassical, nullptr}),
+               std::invalid_argument);
+  // run_batch validates the WHOLE batch before submitting anything: a
+  // partial submission followed by a throw would hand control back while
+  // submitted closures still run against the caller's frame.
+  std::atomic<int> runs{0};
+  std::vector<Task> tasks;
+  tasks.push_back({ResourceKind::kClassical, [&runs] { runs++; }});
+  tasks.push_back({ResourceKind::kClassical, nullptr});
+  EXPECT_THROW(engine.run_batch(std::move(tasks)), std::invalid_argument);
+  engine.drain();
+  EXPECT_EQ(runs.load(), 0);
+}
+
+TEST(Engine, LongDependencyChainCancelsWithoutRecursion) {
+  // A failing root must cancel an arbitrarily long successor chain; the
+  // worklist-based cancellation keeps this O(1) stack.
+  WorkflowEngine engine(EngineOptions{1, 1});
+  std::atomic<int> runs{0};
+  TaskHandle prev = engine.submit({ResourceKind::kClassical, [] {
+                                     std::this_thread::sleep_for(
+                                         std::chrono::milliseconds(5));
+                                     throw std::runtime_error("root");
+                                   }});
+  constexpr int kChain = 50000;
+  for (int i = 0; i < kChain; ++i) {
+    prev = engine.submit({ResourceKind::kClassical, [&runs] { runs++; }},
+                         {prev});
+  }
+  std::exception_ptr error;
+  engine.drain(&error);
+  EXPECT_TRUE(error != nullptr);
+  EXPECT_EQ(runs.load(), 0);
+  EXPECT_TRUE(engine.timing(prev).cancelled);
+  EXPECT_EQ(engine.stats().cancelled, static_cast<std::size_t>(kChain));
+}
+
+TEST(Engine, StatsAccumulateAcrossBatchesAndSubmits) {
+  WorkflowEngine engine(EngineOptions{2, 2});
+  std::vector<Task> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back({ResourceKind::kQuantum, [] {}});
+  }
+  engine.run_batch(std::move(batch));
+  const TaskHandle h = engine.submit({ResourceKind::kClassical, [] {}});
+  engine.wait(h);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.quantum_tasks, 4u);
+  EXPECT_EQ(stats.classical_tasks, 1u);
+}
+
+TEST(Engine, SlotCapsHoldAcrossIndependentChains) {
+  // Many chains stream through one engine; the per-kind cap must hold
+  // globally, not per chain.
+  const int slots = 2;
+  WorkflowEngine engine(EngineOptions{slots, 8});
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  auto body = [&] {
+    const int now = ++active;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    --active;
+  };
+  for (int chain = 0; chain < 6; ++chain) {
+    TaskHandle prev{};
+    for (int step = 0; step < 3; ++step) {
+      prev = engine.submit({ResourceKind::kQuantum, body},
+                           prev.valid() ? std::vector<TaskHandle>{prev}
+                                        : std::vector<TaskHandle>{});
+    }
+  }
+  engine.drain();
+  EXPECT_LE(peak.load(), slots);
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(Engine, StreamingChainsOverlapAcrossABarrierlessEngine) {
+  // Two component-like chains: leaves -> merge -> coarse. With dependency
+  // streaming, the FAST chain's coarse task must start while the slow
+  // chain's leaves are still running — the cross-level overlap a per-level
+  // run_batch barrier forbids.
+  util::ThreadPool pool(4);
+  EngineOptions opts;
+  opts.quantum_slots = 2;
+  opts.classical_slots = 2;
+  opts.pool = &pool;
+  WorkflowEngine engine(opts);
+
+  auto sleep_ms = [](int ms) {
+    return [ms] { std::this_thread::sleep_for(std::chrono::milliseconds(ms)); };
+  };
+  // Fast chain: one 5 ms leaf, then merge and coarse.
+  const TaskHandle fast_leaf =
+      engine.submit({ResourceKind::kQuantum, sleep_ms(5)});
+  const TaskHandle fast_merge =
+      engine.submit({ResourceKind::kClassical, sleep_ms(1)}, {fast_leaf});
+  const TaskHandle fast_coarse =
+      engine.submit({ResourceKind::kQuantum, sleep_ms(10)}, {fast_merge});
+  // Slow chain: 6 leaves of 20 ms sharing the 2 quantum slots.
+  std::vector<TaskHandle> slow_leaves;
+  for (int i = 0; i < 6; ++i) {
+    slow_leaves.push_back(
+        engine.submit({ResourceKind::kQuantum, sleep_ms(20)}));
+  }
+  const TaskHandle slow_merge =
+      engine.submit({ResourceKind::kClassical, sleep_ms(1)}, slow_leaves);
+  const TaskHandle slow_coarse =
+      engine.submit({ResourceKind::kQuantum, sleep_ms(10)}, {slow_merge});
+  engine.drain();
+
+  double slow_leaves_end = 0.0;
+  for (const TaskHandle h : slow_leaves) {
+    slow_leaves_end = std::max(slow_leaves_end, engine.timing(h).end_s);
+  }
+  EXPECT_LT(engine.timing(fast_coarse).start_s, slow_leaves_end)
+      << "fast chain's coarse level did not overlap slow chain's leaves";
+  EXPECT_GE(engine.timing(slow_coarse).start_s,
+            engine.timing(slow_merge).end_s - 1e-9);
+}
+
+TEST(Engine, RunBatchStillWorksAfterStreamingUse) {
+  WorkflowEngine engine(EngineOptions{2, 2});
+  std::atomic<int> runs{0};
+  const TaskHandle a =
+      engine.submit({ResourceKind::kQuantum, [&] { runs++; }});
+  engine.wait(a);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back({ResourceKind::kClassical, [&runs] { runs++; }});
+  }
+  const BatchReport report = engine.run_batch(std::move(tasks));
+  EXPECT_EQ(runs.load(), 9);
+  ASSERT_EQ(report.timings.size(), 8u);
+  // Batch timings are batch-relative even on a long-lived engine.
+  for (const TaskTiming& t : report.timings) {
+    EXPECT_GE(t.submit_s, 0.0);
+    EXPECT_LE(t.submit_s, t.start_s + 1e-9);
+    EXPECT_LT(t.end_s, report.wall_seconds + 1e-9);
+  }
 }
 
 }  // namespace
