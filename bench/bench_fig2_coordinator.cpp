@@ -3,39 +3,50 @@
 // is minimal": run QAOA^2 through the coordinator/worker engine and report
 // the share of wall time spent outside the sub-graph solvers.
 //
+// The sub-solver series are registry specs (any backend + parameters):
+//
 //   ./bench_fig2_coordinator [--nodes 120] [--prob 0.1] [--qubits 9]
-//                            [--solver qaoa|gw|best] [--components 4]
-
+//                            [--solver qaoa:p=2] [--components 4]
+//                            [--list-solvers]
+//
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "qaoa2/qaoa2.hpp"
 #include "qgraph/generators.hpp"
 #include "sched/engine.hpp"
+#include "solver/registry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   const qq::util::Args args(argc, argv);
+  if (args.has("list-solvers")) {
+    std::printf("%s", qq::solver::SolverRegistry::global().help().c_str());
+    return 0;
+  }
   const int nodes = args.get_int("nodes", 400);
   const double prob = args.get_double("prob", 0.1);
   const int qubits = args.get_int("qubits", 14);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 8));
-  // Optional restriction of the sub-solver series (default: all three).
-  std::vector<qq::qaoa2::SubSolver> solvers = {qq::qaoa2::SubSolver::kQaoa,
-                                               qq::qaoa2::SubSolver::kGw,
-                                               qq::qaoa2::SubSolver::kBest};
+  // Optional restriction of the sub-solver series (default: the paper's
+  // three — all-QAOA, all-classic, best-of).
+  std::vector<std::string> solvers = {"qaoa", "gw", "best"};
   if (args.has("solver")) {
-    const std::string name = args.get("solver", "");
-    const auto parsed = qq::qaoa2::parse_sub_solver(name);
-    if (!parsed) {
-      std::fprintf(stderr, "unknown --solver '%s'\n", name.c_str());
+    solvers = {args.get("solver", "")};
+  }
+  for (const std::string& spec : solvers) {
+    try {
+      (void)qq::solver::SolverRegistry::global().make(spec);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n(run with --list-solvers for the registry)\n",
+                   e.what());
       return 1;
     }
-    solvers = {*parsed};
   }
 
   std::printf("=== Fig. 2 quantification: coordinator overhead in QAOA^2 "
@@ -72,17 +83,17 @@ int main(int argc, char** argv) {
   // micro-measurement above isolates the former.
   qq::util::Table table({"sub-solver", "cut", "solve s", "residual s",
                          "residual+imbalance %"});
-  for (const auto solver : solvers) {
+  for (const std::string& spec : solvers) {
     qq::qaoa2::Qaoa2Options opts;
     opts.max_qubits = qubits;
-    opts.sub_solver = solver;
+    opts.sub_solver_spec = spec;
     opts.qaoa.layers = 3;
     opts.merge_solver = qq::qaoa2::SubSolver::kGw;
     opts.seed = seed;
     opts.engine = qq::sched::EngineOptions{4, 4};
     const auto r = qq::qaoa2::solve_qaoa2(g, opts);
     const double denom = r.solve_seconds + r.coordination_seconds;
-    table.add_row({qq::qaoa2::sub_solver_name(solver),
+    table.add_row({spec,
                    qq::util::format_double(r.cut.value, 1),
                    qq::util::format_double(r.solve_seconds, 3),
                    qq::util::format_double(r.coordination_seconds, 3),
@@ -118,7 +129,7 @@ int main(int argc, char** argv) {
   for (const bool streaming : {false, true}) {
     qq::qaoa2::Qaoa2Options opts;
     opts.max_qubits = qubits;
-    opts.sub_solver = solvers.front();
+    opts.sub_solver_spec = solvers.front();
     opts.qaoa.layers = 3;
     opts.merge_solver = qq::qaoa2::SubSolver::kGw;
     opts.seed = seed;

@@ -13,10 +13,9 @@
 #include <string>
 #include <vector>
 
-#include "maxcut/baselines.hpp"
 #include "qaoa2/qaoa2.hpp"
 #include "qgraph/generators.hpp"
-#include "sdp/gw.hpp"
+#include "solver/registry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -68,23 +67,27 @@ int main(int argc, char** argv) {
       opts.max_qubits = qubits;
       opts.qaoa.layers = 2;
       opts.qaoa.max_iterations = 40;
-      opts.merge_solver = qq::qaoa2::SubSolver::kGw;
+      opts.merge_solver_spec = "gw";
       opts.seed = seed + static_cast<std::uint64_t>(inst);
       opts.engine = qq::sched::EngineOptions{4, 4};
 
-      opts.sub_solver = qq::qaoa2::SubSolver::kQaoa;
+      // The figure's three QAOA^2 series and its two whole-graph
+      // references, all named through the solver registry.
+      opts.sub_solver_spec = "qaoa";
       qaoa_value += qq::qaoa2::solve_qaoa2(g, opts).cut.value;
-      opts.sub_solver = qq::qaoa2::SubSolver::kGw;
+      opts.sub_solver_spec = "gw";
       classic_value += qq::qaoa2::solve_qaoa2(g, opts).cut.value;
-      opts.sub_solver = qq::qaoa2::SubSolver::kBest;
+      opts.sub_solver_spec = "best:qaoa|gw";
       best_value += qq::qaoa2::solve_qaoa2(g, opts).cut.value;
 
-      qq::sdp::GwOptions gw_opts;
-      gw_opts.seed = seed + 9 + static_cast<std::uint64_t>(inst);
-      gw_value += qq::sdp::goemans_williamson(g, gw_opts).best.value;
-
-      qq::util::Rng rand_rng(seed + 17 + static_cast<std::uint64_t>(inst));
-      random_value += qq::maxcut::randomized_partitioning(g, rand_rng).value;
+      const auto& registry = qq::solver::SolverRegistry::global();
+      gw_value += registry.make("gw")
+                      ->solve({&g, seed + 9 + static_cast<std::uint64_t>(inst)})
+                      .cut.value;
+      random_value +=
+          registry.make("random")
+              ->solve({&g, seed + 17 + static_cast<std::uint64_t>(inst)})
+              .cut.value;
     }
     qaoa_value /= instances;
     classic_value /= instances;

@@ -8,7 +8,7 @@
 #include "ml/features.hpp"
 #include "qaoa/qaoa.hpp"
 #include "qgraph/generators.hpp"
-#include "sdp/gw.hpp"
+#include "solver/registry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qq::bench {
@@ -33,7 +33,13 @@ SweepResult run_grid_sweep(const SweepConfig& config) {
   const std::size_t n_layers = config.layer_grid.size();
   const std::size_t n_rho = config.rhobeg_grid.size();
 
+  // The classical reference is a registry-built solver (shared across the
+  // parallel graph tasks; solves are const and thread-safe).
+  const solver::SolverPtr classical =
+      solver::SolverRegistry::global().make(config.classical_spec);
+
   SweepResult result;
+  result.knowledge_base.set_solver_specs("qaoa", config.classical_spec);
   for (auto* grids : {&result.win_proportion, &result.near_proportion}) {
     grids->assign(2, std::vector<std::vector<double>>(
                          n_nodes, std::vector<double>(n_probs, 0.0)));
@@ -82,10 +88,10 @@ SweepResult run_grid_sweep(const SweepConfig& config) {
                           : graph::WeightMode::kUnit);
         if (g.num_edges() == 0) return;
 
-        sdp::GwOptions gw_opts;
-        gw_opts.seed = config.seed + static_cast<std::uint64_t>(task_idx);
-        const double gw_avg =
-            sdp::goemans_williamson(g, gw_opts).average_value;
+        const solver::SolveReport classical_report = classical->solve(
+            {&g, config.seed + static_cast<std::uint64_t>(task_idx)});
+        const double gw_avg = classical_report.metric(
+            "average_value", classical_report.cut.value);
 
         const qaoa::QaoaSolver solver(g);
         std::vector<std::vector<int>> local_grid_wins(

@@ -5,6 +5,7 @@
 // against the GW average of 30 slicings.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ml/knowledge_base.hpp"
@@ -16,6 +17,11 @@ struct SweepConfig {
   std::vector<double> edge_probs;
   std::vector<int> layer_grid;       ///< p values (paper: 3..8)
   std::vector<double> rhobeg_grid;   ///< paper: 0.1..0.5
+  /// Registry spec of the classical reference each QAOA grid point is
+  /// scored against (see solver/registry.hpp). Scored on its
+  /// "average_value" metric when the backend reports one (GW's
+  /// average-of-slicings, the paper's statistic), its best cut otherwise.
+  std::string classical_spec = "gw";
   std::uint64_t seed = 1;
   /// Iteration budget per QAOA run; 0 = paper schedule (linear in p).
   int max_iterations = 0;

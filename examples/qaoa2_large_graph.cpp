@@ -3,32 +3,40 @@
 // sub-graph solves on simulated QPUs, signed merge graph, recursion, flip
 // reconstruction — with the hybrid best-of(QAOA, GW) selection.
 //
+// The sub-solver is any registry spec (see --list-solvers):
+//
 //   ./qaoa2_large_graph [--nodes 150] [--prob 0.08] [--qubits 10]
-//                       [--solver qaoa|gw|best] [--seed 7]
-
+//                       [--solver best:qaoa|gw] [--seed 7] [--list-solvers]
+//
+//   e.g. --solver qaoa:p=3,shots=512   --solver anneal:sweeps=400
+//
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
-#include "maxcut/baselines.hpp"
 #include "qaoa2/qaoa2.hpp"
 #include "qgraph/generators.hpp"
-#include "sdp/gw.hpp"
+#include "solver/registry.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   const qq::util::Args args(argc, argv);
+  if (args.has("list-solvers")) {
+    std::printf("%s", qq::solver::SolverRegistry::global().help().c_str());
+    return 0;
+  }
   const int nodes = args.get_int("nodes", 150);
   const double prob = args.get_double("prob", 0.08);
   const int qubits = args.get_int("qubits", 10);
   const std::string solver = args.get("solver", "best");
-  const auto sub_solver = qq::qaoa2::parse_sub_solver(solver);
-  if (!sub_solver) {
-    std::fprintf(stderr, "unknown --solver '%s' (expected one of qaoa, gw, "
-                 "best, exact, anneal, local-search, rqaoa)\n",
-                 solver.c_str());
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  try {
+    (void)qq::solver::SolverRegistry::global().make(solver);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n(run with --list-solvers for the registry)\n",
+                 e.what());
     return 1;
   }
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
 
   qq::util::Rng rng(seed);
   const auto g = qq::graph::erdos_renyi(static_cast<qq::graph::NodeId>(nodes),
@@ -41,12 +49,11 @@ int main(int argc, char** argv) {
   opts.qaoa.layers = 3;
   opts.seed = seed;
   opts.engine = qq::sched::EngineOptions{4, 4};  // 4 QPUs + 4 CPU workers
-  opts.sub_solver = *sub_solver;
+  opts.sub_solver_spec = solver;
 
   const auto result = qq::qaoa2::solve_qaoa2(g, opts);
 
-  std::printf("\nQAOA^2 (%s sub-solver)\n",
-              qq::qaoa2::sub_solver_name(opts.sub_solver));
+  std::printf("\nQAOA^2 (%s sub-solver)\n", solver.c_str());
   std::printf("  cut value          : %.4f\n", result.cut.value);
   std::printf("  recursion levels   : %d\n", result.levels);
   std::printf("  sub-problems solved: %d (%d quantum, %d classical)\n",
@@ -62,16 +69,14 @@ int main(int argc, char** argv) {
   std::printf("  solver wall time   : %.3f s (coordination %.3f s)\n",
               result.solve_seconds, result.coordination_seconds);
 
-  // Reference points from the paper's Fig. 4: GW on the whole graph and a
-  // random partition.
-  qq::sdp::GwOptions gw_opts;
-  gw_opts.seed = seed + 1;
-  const auto gw = qq::sdp::goemans_williamson(g, gw_opts);
-  qq::util::Rng rand_rng(seed + 2);
-  const auto random = qq::maxcut::randomized_partitioning(g, rand_rng);
+  // Reference points from the paper's Fig. 4, both through the registry:
+  // GW on the whole graph and a random partition.
+  const auto& registry = qq::solver::SolverRegistry::global();
+  const auto gw = registry.make("gw")->solve({&g, seed + 1});
+  const auto random = registry.make("random")->solve({&g, seed + 2});
   std::printf("\nreference: GW on full graph = %.4f | random partition = %.4f\n",
-              gw.best.value, random.value);
+              gw.cut.value, random.cut.value);
   std::printf("QAOA^2 / GW-full ratio: %.4f\n",
-              gw.best.value > 0 ? result.cut.value / gw.best.value : 1.0);
+              gw.cut.value > 0 ? result.cut.value / gw.cut.value : 1.0);
   return 0;
 }

@@ -3,8 +3,26 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace qq::ml {
+
+void KnowledgeBase::set_solver_specs(std::string quantum_spec,
+                                     std::string classical_spec) {
+  // " vs " is the CSV header's delimiter between the two specs, so a spec
+  // containing it would silently corrupt the save/load round trip.
+  if (quantum_spec.empty() || classical_spec.empty() ||
+      quantum_spec.find('\n') != std::string::npos ||
+      classical_spec.find('\n') != std::string::npos ||
+      quantum_spec.find(" vs ") != std::string::npos ||
+      classical_spec.find(" vs ") != std::string::npos) {
+    throw std::invalid_argument(
+        "KnowledgeBase::set_solver_specs: specs must be non-empty, "
+        "single-line strings without \" vs \"");
+  }
+  quantum_spec_ = std::move(quantum_spec);
+  classical_spec_ = std::move(classical_spec);
+}
 
 void KnowledgeBase::add(KbRecord record) {
   if (record.parameters.size() !=
@@ -39,6 +57,7 @@ ParameterKnn KnowledgeBase::to_parameter_knn(int layers) const {
 void KnowledgeBase::save(std::ostream& os) const {
   os << "# qq knowledge base v1: f0..f" << (kNumFeatures - 1)
      << ",layers,rhobeg,qaoa_value,gw_value,params...\n";
+  os << "# solvers: " << quantum_spec_ << " vs " << classical_spec_ << '\n';
   os.precision(17);
   for (const KbRecord& r : records_) {
     for (const double f : r.features) os << f << ',';
@@ -53,6 +72,26 @@ KnowledgeBase KnowledgeBase::load(std::istream& is) {
   KnowledgeBase kb;
   std::string line;
   while (std::getline(is, line)) {
+    static constexpr std::string_view kSolversTag = "# solvers: ";
+    static constexpr std::string_view kVs = " vs ";
+    if (line.rfind(kSolversTag, 0) == 0) {
+      const std::string body = line.substr(kSolversTag.size());
+      const std::size_t vs = body.find(kVs);
+      if (vs == std::string::npos || vs == 0 ||
+          vs + kVs.size() >= body.size()) {
+        throw std::runtime_error(
+            "KnowledgeBase::load: malformed '# solvers:' header");
+      }
+      try {
+        kb.set_solver_specs(body.substr(0, vs), body.substr(vs + kVs.size()));
+      } catch (const std::invalid_argument& e) {
+        // Every other load failure is a runtime_error; a header the setter
+        // rejects (e.g. "a vs b vs c") is file corruption, not a usage bug.
+        throw std::runtime_error(std::string("KnowledgeBase::load: ") +
+                                 e.what());
+      }
+      continue;
+    }
     if (line.empty() || line[0] == '#') continue;
     std::vector<double> cells;
     std::stringstream ss(line);

@@ -36,6 +36,17 @@ class KnowledgeBase {
   bool empty() const noexcept { return records_.empty(); }
   const std::vector<KbRecord>& records() const noexcept { return records_; }
 
+  /// Solver-registry spec strings of the two contenders whose races
+  /// produced the records (see solver/registry.hpp for the grammar). The
+  /// defaults preserve the historical meaning of qaoa_value/gw_value;
+  /// builders racing other pairings record theirs here so a persisted
+  /// dataset stays self-describing.
+  const std::string& quantum_spec() const noexcept { return quantum_spec_; }
+  const std::string& classical_spec() const noexcept {
+    return classical_spec_;
+  }
+  void set_solver_specs(std::string quantum_spec, std::string classical_spec);
+
   /// Labelled dataset for the logistic QAOA-vs-GW selector.
   void to_dataset(std::vector<std::vector<double>>& X,
                   std::vector<int>& y) const;
@@ -46,6 +57,8 @@ class KnowledgeBase {
 
   // CSV persistence. Format (one record per line):
   //   f0,...,f9,layers,rhobeg,qaoa_value,gw_value,param0,param1,...
+  // The solver specs are persisted as a "# solvers: <q> vs <c>" header
+  // comment; files without one load with the historical qaoa/gw defaults.
   void save(std::ostream& os) const;
   static KnowledgeBase load(std::istream& is);
   void save_file(const std::string& path) const;
@@ -53,6 +66,8 @@ class KnowledgeBase {
 
  private:
   std::vector<KbRecord> records_;
+  std::string quantum_spec_ = "qaoa";
+  std::string classical_spec_ = "gw";
 };
 
 }  // namespace qq::ml

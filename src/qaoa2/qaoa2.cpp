@@ -5,11 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
-#include "maxcut/anneal.hpp"
-#include "maxcut/baselines.hpp"
-#include "maxcut/exact.hpp"
-#include "qaoa/rqaoa.hpp"
 #include "qaoa2/merge.hpp"
+#include "solver/registry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -17,15 +14,6 @@
 namespace qq::qaoa2 {
 
 namespace {
-
-bool is_quantum(SubSolver solver) {
-  return solver == SubSolver::kQaoa || solver == SubSolver::kRqaoa;
-}
-
-sched::ResourceKind kind_of(SubSolver solver) {
-  return is_quantum(solver) ? sched::ResourceKind::kQuantum
-                            : sched::ResourceKind::kClassical;
-}
 
 std::uint64_t mix_seed(std::uint64_t seed, int level, std::size_t part) {
   util::SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(level) << 32) ^
@@ -35,6 +23,51 @@ std::uint64_t mix_seed(std::uint64_t seed, int level, std::size_t part) {
 
 std::uint64_t partition_seed(std::uint64_t base_seed, int level) {
   return base_seed + static_cast<std::uint64_t>(level) * 1000003ULL;
+}
+
+/// Enum role -> registry spec: the compatibility mapping. Every enumerator
+/// name doubles as its registry name ("best" resolves to the registry's
+/// default best-of(qaoa, gw) pairing).
+std::string resolved_spec(const std::string& spec, SubSolver fallback) {
+  return spec.empty() ? sub_solver_name(fallback) : spec;
+}
+
+solver::SolveRequest make_request(const graph::Graph& g, std::uint64_t seed) {
+  solver::SolveRequest request;
+  request.graph = &g;
+  request.seed = seed;
+  return request;
+}
+
+/// The task fan-out of one partitioned level: a best-of combinator runs as
+/// one task per child on the child's own resource kind (the paper's §3.6
+/// hybrid selection keeps the QPU and CPU slots busy simultaneously); any
+/// other solver is a single arm.
+std::vector<const solver::Solver*> solver_arms(const solver::Solver& s) {
+  std::vector<const solver::Solver*> arms = s.children();
+  if (arms.empty()) arms.push_back(&s);
+  return arms;
+}
+
+/// First-wins argmax over one part's per-arm reports — ties keep the
+/// earlier-listed arm, preserving the old "QAOA wins ties over GW".
+const solver::SolveReport& best_report(
+    const std::vector<solver::SolveReport>& reports) {
+  const solver::SolveReport* best = &reports.front();
+  for (std::size_t a = 1; a < reports.size(); ++a) {
+    if (reports[a].cut.value > best->cut.value) best = &reports[a];
+  }
+  return *best;
+}
+
+/// Fold one part's per-arm reports into the per-kind solve counters.
+void count_reports(const std::vector<solver::SolveReport>& reports,
+                   Qaoa2Result& result) {
+  for (const solver::SolveReport& rep : reports) {
+    result.quantum_solves += rep.quantum_solves;
+    result.classical_solves += rep.classical_solves;
+  }
+  ++result.subgraphs_total;
 }
 
 LevelStats make_level_stats(
@@ -119,81 +152,62 @@ std::uint64_t component_seed(std::uint64_t seed, std::size_t component,
   return sm.next();
 }
 
+solver::SolverDefaults Qaoa2Driver::solver_defaults() const {
+  solver::SolverDefaults defaults;
+  defaults.qaoa = options_.qaoa;
+  defaults.gw = options_.gw;
+  defaults.rqaoa_cutoff = std::min(options_.max_qubits, 8);
+  return defaults;
+}
+
 Qaoa2Driver::Qaoa2Driver(const Qaoa2Options& options) : options_(options) {
   if (options.max_qubits < 2) {
     throw std::invalid_argument("Qaoa2Driver: max_qubits must be >= 2");
   }
-  if (options.merge_solver == SubSolver::kBest) {
+  const solver::SolverDefaults defaults = solver_defaults();
+  const solver::SolverRegistry& registry = solver::SolverRegistry::global();
+  sub_ = registry.make(
+      resolved_spec(options_.sub_solver_spec, options_.sub_solver), defaults);
+  deeper_ = registry.make(
+      resolved_spec(options_.deeper_solver_spec, options_.deeper_solver),
+      defaults);
+  merge_ = registry.make(
+      resolved_spec(options_.merge_solver_spec, options_.merge_solver),
+      defaults);
+  if (!merge_->children().empty()) {
     throw std::invalid_argument(
-        "Qaoa2Driver: merge_solver cannot be kBest (one coarse solve)");
+        "Qaoa2Driver: merge solver cannot be a best-of combinator (the "
+        "coarse graph gets exactly one solve)");
   }
 }
 
 maxcut::CutResult Qaoa2Driver::solve_subgraph(const graph::Graph& g,
-                                              SubSolver solver,
+                                              SubSolver which,
                                               std::uint64_t seed) const {
-  maxcut::CutResult trivial;
-  trivial.assignment.assign(static_cast<std::size_t>(g.num_nodes()), 0);
-  trivial.value = 0.0;
-  if (g.num_nodes() < 2 || g.num_edges() == 0) return trivial;
-
-  switch (solver) {
-    case SubSolver::kQaoa: {
-      qaoa::QaoaOptions qopts = options_.qaoa;
-      qopts.seed = seed;
-      return qaoa::solve_qaoa(g, qopts).cut;
-    }
-    case SubSolver::kGw: {
-      sdp::GwOptions gopts = options_.gw;
-      gopts.seed = seed;
-      gopts.sdp.seed = seed ^ 0x5d9ULL;
-      return sdp::goemans_williamson(g, gopts).best;
-    }
-    case SubSolver::kBest: {
-      maxcut::CutResult q = solve_subgraph(g, SubSolver::kQaoa, seed);
-      maxcut::CutResult c = solve_subgraph(g, SubSolver::kGw, seed);
-      return q.value >= c.value ? q : c;
-    }
-    case SubSolver::kExact:
-      return maxcut::solve_exact(g);
-    case SubSolver::kAnneal: {
-      util::Rng rng(seed ^ 0xa22ea1ULL);
-      return maxcut::simulated_annealing(g, rng);
-    }
-    case SubSolver::kLocalSearch: {
-      util::Rng rng(seed ^ 0x10ca15ULL);
-      return maxcut::one_exchange_restarts(g, rng, 10);
-    }
-    case SubSolver::kRqaoa: {
-      qaoa::RqaoaOptions ropts;
-      ropts.qaoa = options_.qaoa;
-      ropts.qaoa.seed = seed;
-      ropts.cutoff = std::min(options_.max_qubits, 8);
-      return qaoa::solve_rqaoa(g, ropts).cut;
-    }
-  }
-  return trivial;
+  const solver::SolverPtr s = solver::SolverRegistry::global().make(
+      sub_solver_name(which), solver_defaults());
+  return s->solve(make_request(g, seed)).cut;
 }
 
 maxcut::CutResult Qaoa2Driver::solve_fitting_level(const graph::Graph& g,
                                                    int level,
                                                    std::uint64_t base_seed,
                                                    Qaoa2Result& result) const {
-  const SubSolver solver =
-      level == 0 ? options_.sub_solver : options_.merge_solver;
-  util::Timer timer;
-  const auto res = solve_subgraph(g, solver, mix_seed(base_seed, level, 0));
-  result.solve_seconds += timer.seconds();
-  is_quantum(solver) ? ++result.quantum_solves : ++result.classical_solves;
+  const solver::Solver& s = level == 0 ? *sub_ : *merge_;
+  const solver::SolveReport rep =
+      s.solve(make_request(g, mix_seed(base_seed, level, 0)));
+  result.solve_seconds += rep.wall_seconds;
+  result.quantum_solves += rep.quantum_solves;
+  result.classical_solves += rep.classical_solves;
   ++result.subgraphs_total;
   result.levels = std::max(result.levels, level + 1);
   LevelStats stats;
   stats.level = level;
   stats.num_parts = 1;
   stats.largest_part = stats.smallest_part = static_cast<int>(g.num_nodes());
-  stats.level_cut = maxcut::cut_value(g, res.assignment);
+  stats.level_cut = maxcut::cut_value(g, rep.cut.assignment);
   result.level_stats.push_back(stats);
-  return res;
+  return rep.cut;
 }
 
 // ---------------------------------------------------------------------------
@@ -211,10 +225,10 @@ struct StreamFrame {
   graph::Graph graph;  ///< the (coarse) graph partitioned at this level
   std::vector<std::vector<graph::NodeId>> parts;
   std::vector<graph::Subgraph> subgraphs;
-  std::vector<maxcut::CutResult> primary;
-  std::vector<maxcut::CutResult> secondary;  ///< kBest's classical runs
-  std::vector<double> primary_seconds;
-  std::vector<double> secondary_seconds;
+  /// The level solver's task fan-out (its children for a best-of).
+  std::vector<const solver::Solver*> arms;
+  /// Per-part, per-arm solve reports: reports[part][arm].
+  std::vector<std::vector<solver::SolveReport>> reports;
   std::vector<maxcut::Assignment> locals;
   LevelStats stats;
 };
@@ -272,8 +286,6 @@ class StreamPipeline {
       submit_fitting_solve(c, level, std::move(g));
       return;
     }
-    const SubSolver level_solver =
-        level == 0 ? options_.sub_solver : options_.deeper_solver;
 
     graph::PartitionOptions popts;
     popts.max_nodes = options_.max_qubits;
@@ -292,46 +304,23 @@ class StreamPipeline {
     f.graph = std::move(g);
     f.parts = std::move(parts);
     f.subgraphs = graph::induced_batch(f.graph, f.parts, &engine_.pool());
+    f.arms = solver_arms(driver_.level_solver(level));
 
-    const bool best_mode = level_solver == SubSolver::kBest;
     const std::size_t n = f.parts.size();
-    f.primary.resize(n);
-    f.primary_seconds.assign(n, 0.0);
-    if (best_mode) {
-      f.secondary.resize(n);
-      f.secondary_seconds.assign(n, 0.0);
-    }
+    f.reports.assign(n, std::vector<solver::SolveReport>(f.arms.size()));
 
     std::vector<sched::TaskHandle> solves;
-    solves.reserve(n * (best_mode ? 2 : 1));
+    solves.reserve(n * f.arms.size());
     for (std::size_t i = 0; i < n; ++i) {
+      // Every arm of a part shares the part's seed, exactly as the old
+      // hardcoded best-of ran QAOA and GW on one seed.
       const std::uint64_t seed = mix_seed(c.base_seed, level, i);
-      if (best_mode) {
+      for (std::size_t a = 0; a < f.arms.size(); ++a) {
         solves.push_back(engine_.submit(
-            {sched::ResourceKind::kQuantum, [this, &c, level, i, seed] {
+            {f.arms[a]->resource_kind(), [this, &c, level, i, a, seed] {
                StreamFrame& fr = c.frames[static_cast<std::size_t>(level)];
-               util::Timer timer;
-               fr.primary[i] = driver_.solve_subgraph(fr.subgraphs[i].graph,
-                                                      SubSolver::kQaoa, seed);
-               fr.primary_seconds[i] = timer.seconds();
-             }}));
-        solves.push_back(engine_.submit(
-            {sched::ResourceKind::kClassical, [this, &c, level, i, seed] {
-               StreamFrame& fr = c.frames[static_cast<std::size_t>(level)];
-               util::Timer timer;
-               fr.secondary[i] = driver_.solve_subgraph(fr.subgraphs[i].graph,
-                                                        SubSolver::kGw, seed);
-               fr.secondary_seconds[i] = timer.seconds();
-             }}));
-      } else {
-        solves.push_back(engine_.submit(
-            {kind_of(level_solver),
-             [this, &c, level, i, seed, level_solver] {
-               StreamFrame& fr = c.frames[static_cast<std::size_t>(level)];
-               util::Timer timer;
-               fr.primary[i] = driver_.solve_subgraph(fr.subgraphs[i].graph,
-                                                      level_solver, seed);
-               fr.primary_seconds[i] = timer.seconds();
+               fr.reports[i][a] = fr.arms[a]->solve(
+                   make_request(fr.subgraphs[i].graph, seed));
              }}));
       }
     }
@@ -344,37 +333,27 @@ class StreamPipeline {
   /// the next level — all while other components' tasks keep flowing.
   void finish_level(ComponentRun& c, int level) {
     StreamFrame& f = c.frames[static_cast<std::size_t>(level)];
-    const SubSolver level_solver =
-        level == 0 ? options_.sub_solver : options_.deeper_solver;
-    const bool best_mode = level_solver == SubSolver::kBest;
     Qaoa2Result& r = c.partial;
     f.locals.resize(f.parts.size());
     for (std::size_t i = 0; i < f.parts.size(); ++i) {
-      if (best_mode) {
-        f.locals[i] = f.primary[i].value >= f.secondary[i].value
-                          ? f.primary[i].assignment
-                          : f.secondary[i].assignment;
-        ++r.quantum_solves;
-        ++r.classical_solves;
-        r.solve_seconds += f.primary_seconds[i] + f.secondary_seconds[i];
-      } else {
-        f.locals[i] = f.primary[i].assignment;
-        is_quantum(level_solver) ? ++r.quantum_solves : ++r.classical_solves;
-        r.solve_seconds += f.primary_seconds[i];
+      f.locals[i] = best_report(f.reports[i]).cut.assignment;
+      count_reports(f.reports[i], r);
+      for (const solver::SolveReport& rep : f.reports[i]) {
+        r.solve_seconds += rep.wall_seconds;
       }
-      ++r.subgraphs_total;
     }
     graph::Graph coarse = build_merge_graph(f.graph, f.parts, f.locals);
     start_level(c, level + 1, std::move(coarse));
   }
 
   /// The component's terminal solve: the (coarse) graph fits on a device.
-  /// Completion unwinds the flips through every recorded level.
+  /// Completion unwinds the flips through every recorded level. A best-of
+  /// here runs its children inside the one task (its report still counts
+  /// both kinds), so the coarse graph gets exactly one task.
   void submit_fitting_solve(ComponentRun& c, int level, graph::Graph g) {
-    const SubSolver solver =
-        level == 0 ? options_.sub_solver : options_.merge_solver;
+    const solver::Solver& s = level == 0 ? *driver_.sub_ : *driver_.merge_;
     c.fitting_graph = std::move(g);
-    engine_.submit({kind_of(solver), [this, &c, level] {
+    engine_.submit({s.resource_kind(), [this, &c, level] {
                       const auto res = driver_.solve_fitting_level(
                           c.fitting_graph, level, c.base_seed, c.partial);
                       unwind(c, level, res.assignment);
@@ -418,8 +397,6 @@ void Qaoa2Driver::solve_level(const graph::Graph& g, int level,
     out_assignment = solve_fitting_level(g, level, base_seed, result).assignment;
     return;
   }
-  const SubSolver level_solver =
-      level == 0 ? options_.sub_solver : options_.deeper_solver;
 
   // Divide (paper step 2).
   graph::PartitionOptions popts;
@@ -436,34 +413,25 @@ void Qaoa2Driver::solve_level(const graph::Graph& g, int level,
   LevelStats stats = make_level_stats(level, parts);
 
   // Conquer (paper step 3): every sub-graph in parallel through the
-  // coordinator/worker engine. kBest submits a quantum and a classical task
-  // per part and keeps the better cut (paper §3.6/Fig. 4 "Best").
+  // coordinator/worker engine, one task per solver arm (a best-of fans out
+  // one quantum and one classical task per part — paper §3.6/Fig. 4
+  // "Best").
   const auto subgraphs = graph::induced_batch(g, parts, &engine.pool());
+  const std::vector<const solver::Solver*> arms =
+      solver_arms(level_solver(level));
 
-  const bool best_mode = level_solver == SubSolver::kBest;
-  std::vector<maxcut::CutResult> primary(parts.size());
-  std::vector<maxcut::CutResult> secondary(best_mode ? parts.size() : 0);
+  std::vector<std::vector<solver::SolveReport>> reports(
+      parts.size(), std::vector<solver::SolveReport>(arms.size()));
 
   std::vector<sched::Task> tasks;
-  tasks.reserve(parts.size() * (best_mode ? 2 : 1));
+  tasks.reserve(parts.size() * arms.size());
   for (std::size_t i = 0; i < parts.size(); ++i) {
     const std::uint64_t seed = mix_seed(base_seed, level, i);
-    if (best_mode) {
-      tasks.push_back({sched::ResourceKind::kQuantum, [this, &subgraphs,
-                                                       &primary, i, seed] {
-                         primary[i] = solve_subgraph(subgraphs[i].graph,
-                                                     SubSolver::kQaoa, seed);
-                       }});
-      tasks.push_back({sched::ResourceKind::kClassical,
-                       [this, &subgraphs, &secondary, i, seed] {
-                         secondary[i] = solve_subgraph(subgraphs[i].graph,
-                                                       SubSolver::kGw, seed);
-                       }});
-    } else {
-      tasks.push_back({kind_of(level_solver), [this, &subgraphs, &primary, i,
-                                               seed, level_solver] {
-                         primary[i] = solve_subgraph(subgraphs[i].graph,
-                                                     level_solver, seed);
+    for (std::size_t a = 0; a < arms.size(); ++a) {
+      tasks.push_back({arms[a]->resource_kind(),
+                       [&subgraphs, &reports, &arms, i, a, seed] {
+                         reports[i][a] = arms[a]->solve(
+                             make_request(subgraphs[i].graph, seed));
                        }});
     }
   }
@@ -472,18 +440,8 @@ void Qaoa2Driver::solve_level(const graph::Graph& g, int level,
 
   std::vector<maxcut::Assignment> locals(parts.size());
   for (std::size_t i = 0; i < parts.size(); ++i) {
-    if (best_mode) {
-      locals[i] = primary[i].value >= secondary[i].value
-                      ? primary[i].assignment
-                      : secondary[i].assignment;
-      ++result.quantum_solves;
-      ++result.classical_solves;
-    } else {
-      locals[i] = primary[i].assignment;
-      is_quantum(level_solver) ? ++result.quantum_solves
-                               : ++result.classical_solves;
-    }
-    ++result.subgraphs_total;
+    locals[i] = best_report(reports[i]).cut.assignment;
+    count_reports(reports[i], result);
   }
 
   // Merge (paper step 4) and recurse on the coarse graph (step 5). The

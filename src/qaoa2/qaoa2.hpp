@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -29,9 +30,14 @@
 #include "qgraph/partition.hpp"
 #include "sched/engine.hpp"
 #include "sdp/gw.hpp"
+#include "solver/solver.hpp"
 
 namespace qq::qaoa2 {
 
+/// Compatibility shim over the solver registry (solver/registry.hpp): each
+/// enumerator maps onto the registry spec of the same name ("qaoa", "gw",
+/// "best", ...). New code should prefer the spec-string fields of
+/// Qaoa2Options, which reach every registered backend and its parameters.
 enum class SubSolver {
   kQaoa,         ///< quantum (simulated) — Fig. 4 "QAOA"
   kGw,           ///< classical Goemans-Williamson — Fig. 4 "Classic"
@@ -56,6 +62,15 @@ struct Qaoa2Options {
   SubSolver deeper_solver = SubSolver::kGw;
   /// Solver for the coarse merge graphs (paper step 5 uses QAOA).
   SubSolver merge_solver = SubSolver::kQaoa;
+  /// Registry spec strings (e.g. "qaoa:p=3,shots=512", "best:qaoa|gw",
+  /// "anneal:sweeps=400"); when non-empty they override the corresponding
+  /// enum above and reach every backend registered with SolverRegistry.
+  /// The driver's `qaoa`/`gw` option structs below are the defaults the
+  /// specs refine. The merge spec must not be a best-of combinator (the
+  /// coarse graph gets exactly one solve).
+  std::string sub_solver_spec;
+  std::string deeper_solver_spec;
+  std::string merge_solver_spec;
   qaoa::QaoaOptions qaoa;  ///< configuration of every QAOA sub-solve
   sdp::GwOptions gw;       ///< configuration of every GW sub-solve
   /// Simulated device count / classical worker slots for the parallel
@@ -104,16 +119,25 @@ struct Qaoa2Result {
 
 class Qaoa2Driver {
  public:
+  /// Resolves the three solver roles through SolverRegistry::global() and
+  /// validates the specs (std::invalid_argument on malformed or unknown
+  /// ones, and when the merge solver is a best-of combinator).
   explicit Qaoa2Driver(const Qaoa2Options& options);
 
   const Qaoa2Options& options() const noexcept { return options_; }
 
-  Qaoa2Result solve(const graph::Graph& g) const;
-
-  /// Solve one sub-graph with a specific solver (exposed for the knowledge
-  /// base / selection benchmarks).
+  /// Solve one sub-graph with a specific solver — compatibility shim over
+  /// the registry (exposed for the knowledge base / selection benchmarks):
+  /// equivalent to `SolverRegistry::global().make(sub_solver_name(solver),
+  /// defaults-from-options)` followed by solve at `seed`.
   maxcut::CutResult solve_subgraph(const graph::Graph& g, SubSolver solver,
                                    std::uint64_t seed) const;
+
+  /// The SolverDefaults the driver's specs refine: its QaoaOptions /
+  /// GwOptions plus the RQAOA cutoff min(max_qubits, 8).
+  solver::SolverDefaults solver_defaults() const;
+
+  Qaoa2Result solve(const graph::Graph& g) const;
 
  private:
   friend class StreamPipeline;
@@ -131,7 +155,18 @@ class Qaoa2Driver {
                    sched::WorkflowEngine& engine, Qaoa2Result& result,
                    maxcut::Assignment& out_assignment) const;
 
+  /// The registry-built solver serving a partitioned level: sub_ at level
+  /// 0, deeper_ below.
+  const solver::Solver& level_solver(int level) const noexcept {
+    return level == 0 ? *sub_ : *deeper_;
+  }
+
   Qaoa2Options options_;
+  // Registry-built instances of the three solver roles (immutable,
+  // shared by every concurrent engine task of a solve).
+  solver::SolverPtr sub_;
+  solver::SolverPtr deeper_;
+  solver::SolverPtr merge_;
 };
 
 /// Convenience wrapper.

@@ -1,0 +1,18 @@
+#pragma once
+// Built-in Solver adapters over the library's seven free-function solvers
+// (plus the deterministic greedy / random-partition baselines and the
+// "best" combinator). Construction goes through SolverRegistry; this
+// header only exposes the registration hook so the registry's global()
+// can install them, and so tests can populate a private registry.
+
+#include "solver/registry.hpp"
+
+namespace qq::solver {
+
+/// Registers the built-in backends into `registry`:
+///   qaoa, rqaoa   (quantum — simulated)
+///   gw, exact, anneal, local-search, greedy, random   (classical)
+///   best          (combinator: run children, keep the better cut)
+void register_builtin_solvers(SolverRegistry& registry);
+
+}  // namespace qq::solver

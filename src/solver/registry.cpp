@@ -1,0 +1,217 @@
+#include "solver/registry.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "solver/adapters.hpp"
+
+namespace qq::solver {
+
+namespace detail {
+
+std::string_view trim_spec(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::trim_spec;
+
+[[noreturn]] void bad_spec(std::string_view solver, const std::string& what) {
+  throw std::invalid_argument("solver spec '" + std::string(solver) +
+                              "': " + what);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Params ----
+
+Params::Params(std::string_view solver_name, std::string_view text,
+               std::initializer_list<std::string_view> allowed)
+    : solver_(solver_name) {
+  text = trim_spec(text);
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    const std::string_view item =
+        trim_spec(comma == std::string_view::npos ? text : text.substr(0, comma));
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    if (item.empty()) bad_spec(solver_, "empty parameter");
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      bad_spec(solver_, "parameter '" + std::string(item) +
+                            "' is not of the form key=value");
+    }
+    const std::string_view key = trim_spec(item.substr(0, eq));
+    const std::string_view value = trim_spec(item.substr(eq + 1));
+    if (key.empty()) bad_spec(solver_, "empty parameter key");
+    if (value.empty()) {
+      bad_spec(solver_, "parameter '" + std::string(key) + "' has no value");
+    }
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      std::string known;
+      for (const std::string_view a : allowed) {
+        known += known.empty() ? std::string(a) : ", " + std::string(a);
+      }
+      bad_spec(solver_, "unknown parameter '" + std::string(key) +
+                            "' (known: " + (known.empty() ? "none" : known) +
+                            ")");
+    }
+    if (has(key)) {
+      bad_spec(solver_, "duplicate parameter '" + std::string(key) + "'");
+    }
+    kv_.emplace_back(std::string(key), std::string(value));
+  }
+}
+
+bool Params::has(std::string_view key) const noexcept {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+int Params::get_int(std::string_view key, int fallback) const {
+  for (const auto& [k, v] : kv_) {
+    if (k != key) continue;
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || errno == ERANGE ||
+        parsed < std::numeric_limits<int>::min() ||
+        parsed > std::numeric_limits<int>::max()) {
+      bad_spec(solver_, "parameter '" + k + "' expects an integer, got '" +
+                            v + "'");
+    }
+    return static_cast<int>(parsed);
+  }
+  return fallback;
+}
+
+double Params::get_double(std::string_view key, double fallback) const {
+  for (const auto& [k, v] : kv_) {
+    if (k != key) continue;
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0') {
+      bad_spec(solver_, "parameter '" + k + "' expects a number, got '" + v +
+                            "'");
+    }
+    return parsed;
+  }
+  return fallback;
+}
+
+// ----------------------------------------------------- SolverRegistry ----
+
+SolverRegistry& SolverRegistry::global() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    register_builtin_solvers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SolverRegistry::register_solver(std::string name, std::string summary,
+                                     std::vector<ParamHelp> params,
+                                     Factory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("SolverRegistry: empty solver name");
+  }
+  if (name.find_first_of(":,|= \t") != std::string::npos) {
+    throw std::invalid_argument("SolverRegistry: name '" + name +
+                                "' contains spec metacharacters");
+  }
+  if (contains(name)) {
+    throw std::invalid_argument("SolverRegistry: '" + name +
+                                "' is already registered");
+  }
+  if (!factory) {
+    throw std::invalid_argument("SolverRegistry: null factory for '" + name +
+                                "'");
+  }
+  entries_.push_back(Entry{std::move(name), std::move(summary),
+                           std::move(params), std::move(factory)});
+}
+
+bool SolverRegistry::contains(std::string_view name) const noexcept {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+const SolverRegistry::Entry* SolverRegistry::find(
+    std::string_view name) const noexcept {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+SolverPtr SolverRegistry::make(std::string_view spec,
+                               const SolverDefaults& defaults) const {
+  const std::string_view trimmed = trim_spec(spec);
+  if (trimmed.empty()) {
+    throw std::invalid_argument("solver spec: empty string");
+  }
+  const std::size_t colon = trimmed.find(':');
+  const std::string_view name =
+      trim_spec(colon == std::string_view::npos ? trimmed
+                                           : trimmed.substr(0, colon));
+  const std::string_view params =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : trimmed.substr(colon + 1);
+  const Entry* entry = find(name);
+  if (entry == nullptr) {
+    std::string known;
+    for (const Entry& e : entries_) {
+      known += known.empty() ? e.name : ", " + e.name;
+    }
+    throw std::invalid_argument("solver spec '" + std::string(trimmed) +
+                                "': unknown solver '" + std::string(name) +
+                                "' (registered: " + known + ")");
+  }
+  SolverPtr solver = entry->factory(*this, params, defaults);
+  if (!solver) {
+    throw std::invalid_argument("solver spec '" + std::string(trimmed) +
+                                "': factory returned null");
+  }
+  return solver;
+}
+
+std::string SolverRegistry::help() const {
+  std::ostringstream os;
+  os << "registered solvers (spec: name[:key=value,...]; combinators take "
+        "child specs):\n";
+  for (const Entry& e : entries_) {
+    os << "  " << e.name;
+    for (std::size_t pad = e.name.size(); pad < 14; ++pad) os << ' ';
+    os << e.summary << '\n';
+    for (const ParamHelp& p : e.params) {
+      os << "      " << p.key << ' ';
+      for (std::size_t pad = p.key.size() + 1; pad < 10; ++pad) os << ' ';
+      os << p.description << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace qq::solver

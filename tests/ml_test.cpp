@@ -262,5 +262,40 @@ TEST(KnowledgeBase, SkipsCommentsAndBlankLines) {
   EXPECT_EQ(KnowledgeBase::load(in).size(), 1u);
 }
 
+TEST(KnowledgeBase, SolverSpecsDefaultAndRoundTrip) {
+  KnowledgeBase kb;
+  // Defaults preserve the historical qaoa-vs-gw meaning of the columns.
+  EXPECT_EQ(kb.quantum_spec(), "qaoa");
+  EXPECT_EQ(kb.classical_spec(), "gw");
+  kb.set_solver_specs("qaoa:p=3,shots=512", "best:gw|anneal");
+  kb.add(make_record(1.0, 2, true));
+  std::stringstream ss;
+  kb.save(ss);
+  const KnowledgeBase back = KnowledgeBase::load(ss);
+  EXPECT_EQ(back.quantum_spec(), "qaoa:p=3,shots=512");
+  EXPECT_EQ(back.classical_spec(), "best:gw|anneal");
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.records()[0].layers, 2);
+}
+
+TEST(KnowledgeBase, SolverSpecsValidation) {
+  KnowledgeBase kb;
+  EXPECT_THROW(kb.set_solver_specs("", "gw"), std::invalid_argument);
+  EXPECT_THROW(kb.set_solver_specs("qaoa", "g\nw"), std::invalid_argument);
+  // " vs " is the persisted header's delimiter; a spec containing it would
+  // silently corrupt the round trip.
+  EXPECT_THROW(kb.set_solver_specs("a vs b", "gw"), std::invalid_argument);
+  // A pre-specs file (no "# solvers:" header) loads with the defaults; a
+  // malformed header is rejected.
+  std::stringstream legacy("# qq knowledge base v1: old header\n");
+  EXPECT_EQ(KnowledgeBase::load(legacy).quantum_spec(), "qaoa");
+  std::stringstream malformed("# solvers: qaoa-only\n");
+  EXPECT_THROW(KnowledgeBase::load(malformed), std::runtime_error);
+  // A header the setter rejects (ambiguous delimiter) is file corruption
+  // and surfaces as load's runtime_error, not as invalid_argument.
+  std::stringstream ambiguous("# solvers: a vs b vs c\n");
+  EXPECT_THROW(KnowledgeBase::load(ambiguous), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace qq::ml
