@@ -1,0 +1,52 @@
+#pragma once
+// Reproducer-case serialization: every violating scenario is written as a
+// small self-contained text file that replays through `fuzz_solve
+// --replay <file>` (and, committed under tests/corpus/, as a permanent
+// ctest regression entry), plus a C++ snippet for debugging by hand.
+//
+// Format (line-oriented, '#' comments, must end with `end`):
+//
+//   kind solver            # or qaoa2
+//   family negative        # informational
+//   scenario_seed 1234     # informational (0 for hand-written cases)
+//   solve_seed 77
+//   spec best:qaoa|gw
+//   deeper_spec gw         # qaoa2 only
+//   merge_spec greedy      # qaoa2 only
+//   max_qubits 6           # qaoa2 only
+//   nodes 30
+//   edge 0 1 1
+//   edge 4 7 -0.5
+//   end
+//
+// Weights round-trip bit-exactly (%.17g).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace qq::fuzz {
+
+/// Serialize a scenario. `comment` lines (one per entry, without '#') are
+/// emitted at the top — the fuzzer records the violated oracles there.
+std::string to_case_file(const Scenario& scenario,
+                         const std::vector<std::string>& comments = {});
+
+/// Parse a case file. Throws std::invalid_argument on any malformed line,
+/// unknown directive, missing `end`, or invalid edge.
+Scenario from_case_file(std::istream& in);
+Scenario from_case_string(const std::string& text);
+
+/// Load a case from disk. Throws std::invalid_argument (file missing or
+/// malformed).
+Scenario load_case_file(const std::string& path);
+
+/// Self-contained C++ `main` that rebuilds the graph and re-runs the
+/// failing solve — the copy-paste debugging entry point.
+std::string reproducer_snippet(const Scenario& scenario,
+                               const std::vector<Violation>& violations);
+
+}  // namespace qq::fuzz

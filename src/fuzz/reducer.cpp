@@ -1,0 +1,206 @@
+#include "fuzz/reducer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace qq::fuzz {
+
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Induced subgraph over the kept node ids (renumbered densely).
+Graph keep_nodes(const Graph& g, const std::vector<NodeId>& kept) {
+  return g.induced(kept).graph;
+}
+
+/// Same node count, only the edges whose index is outside [lo, hi).
+Graph drop_edge_range(const Graph& g, std::size_t lo, std::size_t hi) {
+  Graph out(g.num_nodes());
+  const auto& edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i >= lo && i < hi) continue;
+    out.add_edge(edges[i].u, edges[i].v, edges[i].w);
+  }
+  return out;
+}
+
+/// Children of a `best:` spec, or empty when the spec is a leaf. Mirrors
+/// the registry's flat top-level '|' split.
+std::vector<std::string> combinator_children(const std::string& spec) {
+  const std::string head = "best:";
+  if (spec.rfind(head, 0) != 0) return {};
+  std::vector<std::string> children;
+  std::string rest = spec.substr(head.size());
+  while (true) {
+    const std::size_t bar = rest.find('|');
+    children.push_back(rest.substr(0, bar));
+    if (bar == std::string::npos) break;
+    rest = rest.substr(bar + 1);
+  }
+  return children;
+}
+
+class Reducer {
+ public:
+  Reducer(const Scenario& failing, const ReduceOptions& options)
+      : options_(options), best_(failing) {}
+
+  ReducedCase run() {
+    ReducedCase out;
+    best_violations_ = check(best_);
+    if (best_violations_.empty()) {
+      out.scenario = best_;
+      out.checks = checks_;
+      return out;  // not actually failing; nothing to do
+    }
+    // Alternate the moves until a full pass changes nothing or the check
+    // budget runs out.
+    bool changed = true;
+    while (changed && checks_ < options_.max_checks) {
+      changed = false;
+      changed |= shrink_nodes();
+      changed |= shrink_edges();
+      changed |= shrink_spec();
+      changed |= shrink_qaoa2_knobs();
+      if (changed) out.shrunk = true;
+    }
+    out.scenario = best_;
+    out.violations = best_violations_;
+    out.checks = checks_;
+    return out;
+  }
+
+ private:
+  std::vector<Violation> check(const Scenario& s) {
+    ++checks_;
+    return check_scenario(s, options_.oracle);
+  }
+
+  /// Adopt `candidate` if it still violates any oracle.
+  bool try_adopt(Scenario candidate) {
+    if (checks_ >= options_.max_checks) return false;
+    std::vector<Violation> violations = check(candidate);
+    if (violations.empty()) return false;
+    best_ = std::move(candidate);
+    best_violations_ = std::move(violations);
+    return true;
+  }
+
+  bool shrink_nodes() {
+    bool changed = false;
+    // Try dropping [lo, lo+chunk) node ranges, halving the chunk size.
+    for (NodeId chunk = best_.graph.num_nodes() / 2; chunk >= 1; chunk /= 2) {
+      bool dropped_any = true;
+      while (dropped_any && checks_ < options_.max_checks) {
+        dropped_any = false;
+        const NodeId n = best_.graph.num_nodes();
+        if (n <= 1 || chunk > n) break;
+        for (NodeId lo = 0; lo + chunk <= n; lo = static_cast<NodeId>(lo + chunk)) {
+          std::vector<NodeId> kept;
+          for (NodeId u = 0; u < n; ++u) {
+            if (u < lo || u >= lo + chunk) kept.push_back(u);
+          }
+          Scenario candidate = best_;
+          candidate.graph = keep_nodes(best_.graph, kept);
+          if (try_adopt(std::move(candidate))) {
+            changed = dropped_any = true;
+            break;  // node ids shifted; restart the scan
+          }
+          if (checks_ >= options_.max_checks) break;
+        }
+      }
+    }
+    return changed;
+  }
+
+  bool shrink_edges() {
+    bool changed = false;
+    for (std::size_t chunk = std::max<std::size_t>(best_.graph.num_edges() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      bool dropped_any = true;
+      while (dropped_any && checks_ < options_.max_checks) {
+        dropped_any = false;
+        const std::size_t m = best_.graph.num_edges();
+        if (m == 0 || chunk > m) break;
+        for (std::size_t lo = 0; lo + chunk <= m; lo += chunk) {
+          Scenario candidate = best_;
+          candidate.graph = drop_edge_range(best_.graph, lo, lo + chunk);
+          if (try_adopt(std::move(candidate))) {
+            changed = dropped_any = true;
+            break;
+          }
+          if (checks_ >= options_.max_checks) break;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    return changed;
+  }
+
+  bool shrink_spec() {
+    bool changed = false;
+    for (const std::string& child : combinator_children(best_.spec)) {
+      Scenario candidate = best_;
+      candidate.spec = child;
+      if (try_adopt(std::move(candidate))) {
+        changed = true;
+        break;
+      }
+    }
+    if (best_.spec != "greedy") {
+      Scenario candidate = best_;
+      candidate.spec = "greedy";
+      changed |= try_adopt(std::move(candidate));
+    }
+    return changed;
+  }
+
+  bool shrink_qaoa2_knobs() {
+    if (best_.kind != ProbeKind::kQaoa2) return false;
+    bool changed = false;
+    for (const std::string& child : combinator_children(best_.deeper_spec)) {
+      Scenario candidate = best_;
+      candidate.deeper_spec = child;
+      if (try_adopt(std::move(candidate))) {
+        changed = true;
+        break;
+      }
+    }
+    for (const char* simple : {"greedy"}) {
+      if (best_.deeper_spec != simple) {
+        Scenario candidate = best_;
+        candidate.deeper_spec = simple;
+        changed |= try_adopt(std::move(candidate));
+      }
+      if (best_.merge_spec != simple) {
+        Scenario candidate = best_;
+        candidate.merge_spec = simple;
+        changed |= try_adopt(std::move(candidate));
+      }
+    }
+    while (best_.max_qubits > 2 && checks_ < options_.max_checks) {
+      Scenario candidate = best_;
+      candidate.max_qubits = best_.max_qubits - 1;
+      if (!try_adopt(std::move(candidate))) break;
+      changed = true;
+    }
+    return changed;
+  }
+
+  const ReduceOptions& options_;
+  Scenario best_;
+  std::vector<Violation> best_violations_;
+  int checks_ = 0;
+};
+
+}  // namespace
+
+ReducedCase reduce(const Scenario& failing, const ReduceOptions& options) {
+  return Reducer(failing, options).run();
+}
+
+}  // namespace qq::fuzz

@@ -1,0 +1,41 @@
+#pragma once
+// Failure shrinking: given a scenario that violates an oracle, search for
+// the smallest variant that still violates one, so reproducers committed
+// to the corpus are readable and fast to replay.
+//
+// The search is a bounded ddmin-style loop over four moves:
+//   1. drop node ranges (halves, then quarters, ...) via induced subgraphs
+//   2. drop edge ranges the same way (node count preserved)
+//   3. simplify the spec: a `best:` combinator is replaced by each child in
+//      turn, then any surviving spec by plain "greedy"
+//   4. for QAOA^2 probes, shrink max_qubits toward 2 and simplify the
+//      deeper/merge roles
+// Every accepted move must keep at least one violation alive (not
+// necessarily the original one — a shrink exposing a *different* bug is
+// still a bug). The loop re-runs oracles at most `max_checks` times.
+
+#include <cstdint>
+
+#include "fuzz/oracle.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace qq::fuzz {
+
+struct ReduceOptions {
+  OracleOptions oracle;
+  /// Upper bound on oracle re-evaluations (each is a few solves).
+  int max_checks = 160;
+};
+
+struct ReducedCase {
+  Scenario scenario;                  ///< smallest still-failing variant
+  std::vector<Violation> violations;  ///< its violations
+  int checks = 0;                     ///< oracle evaluations spent
+  bool shrunk = false;                ///< anything got smaller
+};
+
+/// Shrink `failing` (which must currently violate at least one oracle —
+/// otherwise it is returned unchanged with empty violations).
+ReducedCase reduce(const Scenario& failing, const ReduceOptions& options = {});
+
+}  // namespace qq::fuzz

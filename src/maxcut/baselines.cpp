@@ -61,9 +61,11 @@ CutResult greedy_cut(const graph::Graph& g) {
 
 CutResult one_exchange_restarts(const graph::Graph& g, util::Rng& rng,
                                 int restarts) {
-  CutResult best;
-  best.value = -1.0;
-  for (int r = 0; r < std::max(restarts, 1); ++r) {
+  // Seed with the first run rather than a sentinel value: on all-negative
+  // graphs every local optimum can sit below any fixed sentinel, which
+  // used to return an empty assignment (found by the fuzz oracle).
+  CutResult best = one_exchange(g, rng);
+  for (int r = 1; r < std::max(restarts, 1); ++r) {
     CutResult candidate = one_exchange(g, rng);
     if (candidate.value > best.value) best = std::move(candidate);
   }

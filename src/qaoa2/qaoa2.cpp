@@ -461,9 +461,13 @@ Qaoa2Result Qaoa2Driver::solve(const graph::Graph& g) const {
   util::Timer wall;
   Qaoa2Result result;
 
-  // A graph that fits on one device needs no engine at all.
+  // A graph that fits on one device needs no engine at all. It is still
+  // reported with its true component count so `components` means the same
+  // thing on both paths (found by the fuzz oracle: a 2-node edgeless graph
+  // claimed components == 1).
   if (g.num_nodes() <= options_.max_qubits) {
-    result.components = 1;
+    result.components =
+        static_cast<int>(graph::connected_components(g).size());
     result.cut.assignment =
         solve_fitting_level(g, 0, options_.seed, result).assignment;
     result.cut.value = maxcut::cut_value(g, result.cut.assignment);

@@ -104,7 +104,8 @@ struct Qaoa2Result {
   int subgraphs_total = 0;
   int quantum_solves = 0;
   int classical_solves = 0;
-  /// Connected components the solve was sharded into.
+  /// Connected components of the input graph (the sharding granularity
+  /// when the graph exceeds the device; 0 for the empty graph).
   int components = 0;
   /// Tasks executed by the workflow engine (0 when the graph fit on one
   /// device and no engine was needed).

@@ -21,7 +21,6 @@ GwResult goemans_williamson(const graph::Graph& g, const GwOptions& options) {
   const auto k = static_cast<std::size_t>(sdp.rank);
   util::Rng rng(options.seed ^ 0x6077a11e5ULL);
 
-  result.best.value = -1.0;
   double sum = 0.0;
   std::vector<double> hyperplane(k);
   maxcut::Assignment assignment(static_cast<std::size_t>(n));
@@ -35,7 +34,11 @@ GwResult goemans_williamson(const graph::Graph& g, const GwOptions& options) {
     }
     const double value = maxcut::cut_value(g, assignment);
     sum += value;
-    if (value > result.best.value) {
+    // First slicing is adopted unconditionally: a fixed sentinel would
+    // return an empty assignment when every rounding lands below it
+    // (possible on all-negative graphs — same bug class as the
+    // one_exchange_restarts sentinel the fuzzer caught).
+    if (s == 0 || value > result.best.value) {
       result.best.value = value;
       result.best.assignment = assignment;
     }

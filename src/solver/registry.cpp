@@ -166,12 +166,45 @@ const SolverRegistry::Entry* SolverRegistry::find(
   return nullptr;
 }
 
+namespace {
+
+/// Recursion depth of nested SolverRegistry::make calls on this thread —
+/// combinator factories construct children through make, so adversarial
+/// "best:best:..." chains grow the call stack one frame per level. The
+/// guard turns that into std::invalid_argument at kMaxSpecDepth instead of
+/// a stack overflow.
+thread_local int g_make_depth = 0;
+
+struct MakeDepthGuard {
+  MakeDepthGuard(std::string_view spec) {
+    if (++g_make_depth > kMaxSpecDepth) {
+      --g_make_depth;
+      throw std::invalid_argument(
+          "solver spec '" + std::string(spec.substr(0, 64)) +
+          "': combinators nested deeper than " + std::to_string(kMaxSpecDepth) +
+          " levels");
+    }
+  }
+  ~MakeDepthGuard() { --g_make_depth; }
+  MakeDepthGuard(const MakeDepthGuard&) = delete;
+  MakeDepthGuard& operator=(const MakeDepthGuard&) = delete;
+};
+
+}  // namespace
+
 SolverPtr SolverRegistry::make(std::string_view spec,
                                const SolverDefaults& defaults) const {
+  if (spec.size() > kMaxSpecLength) {
+    throw std::invalid_argument(
+        "solver spec: " + std::to_string(spec.size()) +
+        " characters exceeds the " + std::to_string(kMaxSpecLength) +
+        "-character limit");
+  }
   const std::string_view trimmed = trim_spec(spec);
   if (trimmed.empty()) {
     throw std::invalid_argument("solver spec: empty string");
   }
+  const MakeDepthGuard depth_guard(trimmed);
   const std::size_t colon = trimmed.find(':');
   const std::string_view name =
       trim_spec(colon == std::string_view::npos ? trimmed

@@ -14,7 +14,9 @@
 //
 // Malformed specs (unknown name, unknown key, non-numeric value, empty
 // key/child) throw std::invalid_argument with the offending spec quoted —
-// never crash.
+// never crash. Specs longer than kMaxSpecLength characters or nesting
+// combinators deeper than kMaxSpecDepth levels are rejected the same way,
+// so adversarial input ("best:best:best:...") cannot exhaust the stack.
 //
 // Adding a backend: implement a `solver::Solver`, then
 // `SolverRegistry::global().register_solver(name, summary, params,
@@ -32,6 +34,14 @@
 namespace qq::solver {
 
 class SolverRegistry;
+
+/// Longest accepted spec string; anything longer throws
+/// std::invalid_argument before parsing.
+inline constexpr std::size_t kMaxSpecLength = 4096;
+/// Deepest accepted combinator nesting (`make` recursion depth). Generous
+/// for real use — "best:" chains recurse once per level — while bounding
+/// stack growth on adversarial specs.
+inline constexpr int kMaxSpecDepth = 16;
 
 namespace detail {
 /// Strips leading/trailing spec whitespace (spaces and tabs). Shared by

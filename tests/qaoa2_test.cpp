@@ -10,6 +10,7 @@
 #include "qaoa2/merge.hpp"
 #include "qaoa2/qaoa2.hpp"
 #include "qgraph/generators.hpp"
+#include "test_graphs.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -312,17 +313,9 @@ TEST(Qaoa2, ParseSubSolverRoundTrips) {
 
 namespace {
 
-/// Two ER blobs of different size plus two isolated nodes.
-Graph disconnected_test_graph() {
-  util::Rng rng(27);
-  Graph g(30);
-  const Graph a = graph::erdos_renyi(16, 0.3, rng);
-  for (const graph::Edge& e : a.edges()) g.add_edge(e.u, e.v, e.w);
-  const Graph b = graph::erdos_renyi(12, 0.4, rng);
-  for (const graph::Edge& e : b.edges()) g.add_edge(e.u + 16, e.v + 16, e.w);
-  // nodes 28, 29 stay isolated
-  return g;
-}
+/// Two ER blobs of different size plus two isolated nodes (shared fixture,
+/// tests/test_graphs.hpp).
+Graph disconnected_test_graph() { return testing::disconnected_fixture(); }
 
 }  // namespace
 

@@ -15,6 +15,7 @@
 #include "qsim/statevector.hpp"
 #include "sched/engine.hpp"
 #include "sdp/gw.hpp"
+#include "test_graphs.hpp"
 #include "util/rng.hpp"
 
 namespace qq {
@@ -102,16 +103,9 @@ TEST(Degenerate, QaoaOnSingleEdgeWeightedGraph) {
 }
 
 TEST(Degenerate, Qaoa2OnDisconnectedGraph) {
-  // Components solved independently; union must be consistent.
-  util::Rng rng(3);
-  graph::Graph g(24);
-  // Three disjoint 8-node ER blobs.
-  for (int block = 0; block < 3; ++block) {
-    const auto sub = graph::erdos_renyi(8, 0.5, rng);
-    for (const graph::Edge& e : sub.edges()) {
-      g.add_edge(e.u + 8 * block, e.v + 8 * block, e.w);
-    }
-  }
+  // Components solved independently; union must be consistent. Three
+  // disjoint 8-node ER blobs (shared fixture, tests/test_graphs.hpp).
+  const graph::Graph g = testing::disjoint_blobs_fixture();
   qaoa2::Qaoa2Options opts;
   opts.max_qubits = 6;
   opts.sub_solver = qaoa2::SubSolver::kExact;
@@ -123,13 +117,7 @@ TEST(Degenerate, Qaoa2OnDisconnectedGraph) {
 
 TEST(Degenerate, Qaoa2OnNegativeWeightGraph) {
   // Fully negative weights: the optimum is the empty cut (value 0).
-  graph::Graph g(20);
-  util::Rng rng(5);
-  for (graph::NodeId u = 0; u < 20; ++u) {
-    for (graph::NodeId v = u + 1; v < 20; ++v) {
-      if (util::bernoulli(rng, 0.3)) g.add_edge(u, v, -1.0);
-    }
-  }
+  const graph::Graph g = testing::negative_weight_fixture();
   qaoa2::Qaoa2Options opts;
   opts.max_qubits = 6;
   opts.sub_solver = qaoa2::SubSolver::kExact;

@@ -19,6 +19,7 @@
 #include "qgraph/generators.hpp"
 #include "sdp/gw.hpp"
 #include "solver/registry.hpp"
+#include "test_graphs.hpp"
 #include "util/rng.hpp"
 
 namespace qq::solver {
@@ -28,8 +29,7 @@ using graph::Graph;
 
 Graph test_graph(std::uint64_t seed = 41, graph::NodeId n = 10,
                  double p = 0.35) {
-  util::Rng rng(seed);
-  return graph::erdos_renyi(n, p, rng);
+  return testing::er_fixture(seed, n, p);
 }
 
 // ------------------------------------------------------------ registry ----
@@ -303,17 +303,9 @@ TEST(Reports, MetricFallback) {
 
 // ------------------------------------------ QAOA^2 registry dispatch ----
 
-/// Two ER blobs of different size plus two isolated nodes (the
-/// disconnected fixture of qaoa2_test).
-Graph disconnected_test_graph() {
-  util::Rng rng(27);
-  Graph g(30);
-  const Graph a = graph::erdos_renyi(16, 0.3, rng);
-  for (const graph::Edge& e : a.edges()) g.add_edge(e.u, e.v, e.w);
-  const Graph b = graph::erdos_renyi(12, 0.4, rng);
-  for (const graph::Edge& e : b.edges()) g.add_edge(e.u + 16, e.v + 16, e.w);
-  return g;
-}
+/// Two ER blobs of different size plus two isolated nodes (shared fixture,
+/// tests/test_graphs.hpp — must stay bit-identical for the parity pins).
+Graph disconnected_test_graph() { return testing::disconnected_fixture(); }
 
 qaoa2::Qaoa2Options parity_options() {
   qaoa2::Qaoa2Options opts;

@@ -1,0 +1,59 @@
+#pragma once
+// Shared fixture graphs for the test suites (formerly duplicated across
+// qaoa2_test.cpp, solver_test.cpp, and robustness_test.cpp). The parity
+// pins in solver_test.cpp depend on these being BIT-IDENTICAL to the
+// historical in-test builders: same Rng seeds, same draw order, and the
+// same edge-copy order (fuzz::add_disjoint_blob, which the fuzzer's
+// many-components generator families use as well).
+
+#include "fuzz/scenario.hpp"
+#include "qgraph/generators.hpp"
+#include "qgraph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace qq::testing {
+
+/// The solver suite's default workload: a connected-ish 10-node ER graph.
+inline graph::Graph er_fixture(std::uint64_t seed = 41, graph::NodeId n = 10,
+                               double p = 0.35) {
+  util::Rng rng(seed);
+  return graph::erdos_renyi(n, p, rng);
+}
+
+/// Two ER blobs of different size plus two isolated nodes (30 nodes, 4
+/// connected components). The component-sharding fixture of qaoa2_test and
+/// the QAOA^2 registry-dispatch parity pins of solver_test.
+inline graph::Graph disconnected_fixture() {
+  util::Rng rng(27);
+  graph::Graph g(30);
+  fuzz::add_disjoint_blob(g, graph::erdos_renyi(16, 0.3, rng), 0);
+  fuzz::add_disjoint_blob(g, graph::erdos_renyi(12, 0.4, rng), 16);
+  // nodes 28, 29 stay isolated
+  return g;
+}
+
+/// Three disjoint 8-node ER blobs (24 nodes, 3 components) — the
+/// degenerate-input sharding fixture of robustness_test.
+inline graph::Graph disjoint_blobs_fixture() {
+  util::Rng rng(3);
+  graph::Graph g(24);
+  for (int block = 0; block < 3; ++block) {
+    fuzz::add_disjoint_blob(g, graph::erdos_renyi(8, 0.5, rng),
+                            static_cast<graph::NodeId>(8 * block));
+  }
+  return g;
+}
+
+/// Sparse 20-node graph whose every edge has weight -1 (optimum cut 0).
+inline graph::Graph negative_weight_fixture() {
+  graph::Graph g(20);
+  util::Rng rng(5);
+  for (graph::NodeId u = 0; u < 20; ++u) {
+    for (graph::NodeId v = u + 1; v < 20; ++v) {
+      if (util::bernoulli(rng, 0.3)) g.add_edge(u, v, -1.0);
+    }
+  }
+  return g;
+}
+
+}  // namespace qq::testing
