@@ -12,8 +12,14 @@
 // reproducer cases through the same oracles — the corpus regression used
 // by `ctest -L corpus`.
 //
+// Service mode: `--service` storms a live SolveService with seeded
+// concurrent request mixes and mid-flight cancellations, checking the
+// terminal_once / typed_reject / recount / stats_balance oracles
+// (src/fuzz/service_fuzz.hpp).
+//
 //   fuzz_solve --seeds 500 --time-budget 120 --artifacts fuzz-artifacts
 //   fuzz_solve --quick                      # CI smoke (64 seeds, 30 s)
+//   fuzz_solve --service --storms 12        # multi-tenant service storms
 //   fuzz_solve --replay tests/corpus/zero_weights_qaoa2.case
 
 #include <algorithm>
@@ -24,6 +30,7 @@
 #include <vector>
 
 #include "fuzz/fuzzer.hpp"
+#include "fuzz/service_fuzz.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -41,6 +48,8 @@ void print_usage(const char* prog) {
       "  --replay FILE      replay one reproducer case, exit 1 on violation\n"
       "  --replay-dir DIR   replay every .case file in DIR\n"
       "  --quick            CI smoke preset: 64 seeds, 30 s budget\n"
+      "  --service          storm the multi-tenant solve service instead\n"
+      "  --storms N         service-mode storm count (default 20)\n"
       "  --verbose          log every scenario\n",
       prog);
 }
@@ -98,6 +107,25 @@ int main(int argc, char** argv) {
       return 2;
     }
     return replay_paths(paths, oracle);
+  }
+
+  if (args.has("service")) {
+    qq::fuzz::ServiceFuzzOptions service_options;
+    service_options.storms = args.get_int("storms", service_options.storms);
+    service_options.seed_begin =
+        static_cast<std::uint64_t>(args.get_int("seed-begin", 0));
+    service_options.time_budget_seconds = args.get_double(
+        "time-budget", service_options.time_budget_seconds);
+    service_options.verbose = args.has("verbose");
+    const qq::fuzz::ServiceFuzzReport report =
+        qq::fuzz::run_service_fuzz(service_options, &std::cout);
+    std::cout << qq::fuzz::summarize_service_report(report);
+    if (!report.clean()) {
+      std::cout << "FAIL: " << report.violations.size() << " violation(s)\n";
+      return 1;
+    }
+    std::cout << "clean\n";
+    return 0;
   }
 
   qq::fuzz::FuzzOptions options;

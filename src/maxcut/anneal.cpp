@@ -24,6 +24,7 @@ CutResult simulated_annealing(const graph::Graph& g, util::Rng& rng,
   double temperature = options.t_initial;
 
   for (int sweep = 0; sweep < options.sweeps; ++sweep) {
+    if (options.context != nullptr && options.context->stopped()) break;
     for (graph::NodeId i = 0; i < n; ++i) {
       const auto u = static_cast<graph::NodeId>(
           util::uniform_u64(rng, static_cast<std::uint64_t>(n)));

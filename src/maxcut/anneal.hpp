@@ -4,6 +4,7 @@
 // geometric cooling schedule.
 
 #include "maxcut/cut.hpp"
+#include "util/cancellation.hpp"
 #include "util/rng.hpp"
 
 namespace qq::maxcut {
@@ -12,6 +13,9 @@ struct AnnealOptions {
   int sweeps = 200;        ///< full passes over the nodes
   double t_initial = 2.0;  ///< initial temperature (units of edge weight)
   double t_final = 0.01;   ///< final temperature
+  /// Cooperative stop state, polled once per sweep; when it trips the best
+  /// cut so far is returned. Viewed, not owned; may be null.
+  const util::RequestContext* context = nullptr;
 };
 
 CutResult simulated_annealing(const graph::Graph& g, util::Rng& rng,

@@ -60,12 +60,14 @@ CutResult greedy_cut(const graph::Graph& g) {
 }
 
 CutResult one_exchange_restarts(const graph::Graph& g, util::Rng& rng,
-                                int restarts) {
+                                int restarts,
+                                const util::RequestContext* context) {
   // Seed with the first run rather than a sentinel value: on all-negative
   // graphs every local optimum can sit below any fixed sentinel, which
   // used to return an empty assignment (found by the fuzz oracle).
   CutResult best = one_exchange(g, rng);
   for (int r = 1; r < std::max(restarts, 1); ++r) {
+    if (context != nullptr && context->stopped()) break;
     CutResult candidate = one_exchange(g, rng);
     if (candidate.value > best.value) best = std::move(candidate);
   }

@@ -6,6 +6,7 @@
 //   * a deterministic greedy constructive heuristic.
 
 #include "maxcut/cut.hpp"
+#include "util/cancellation.hpp"
 #include "util/rng.hpp"
 
 namespace qq::maxcut {
@@ -22,8 +23,10 @@ CutResult one_exchange(const graph::Graph& g, util::Rng& rng);
 /// side that maximizes its cut contribution against already-placed nodes.
 CutResult greedy_cut(const graph::Graph& g);
 
-/// Best of `restarts` independent one_exchange runs.
+/// Best of `restarts` independent one_exchange runs. `context` (nullable)
+/// is polled between restarts; when it trips the best run so far wins.
 CutResult one_exchange_restarts(const graph::Graph& g, util::Rng& rng,
-                                int restarts);
+                                int restarts,
+                                const util::RequestContext* context = nullptr);
 
 }  // namespace qq::maxcut

@@ -92,6 +92,9 @@ Result cobyla_minimize(const Objective& objective, std::vector<double> x0,
     }
     return fx;
   };
+  auto stop_requested = [&options] {
+    return options.should_stop && options.should_stop();
+  };
 
   double rho = options.rhobeg;
   Simplex simplex;
@@ -103,7 +106,8 @@ Result cobyla_minimize(const Objective& objective, std::vector<double> x0,
     simplex.points.assign(1, center);
     simplex.values.assign(
         1, have_center_value ? center_value : evaluate(center));
-    for (std::size_t i = 0; i < n && result.evaluations < options.maxfun;
+    for (std::size_t i = 0; i < n && result.evaluations < options.maxfun &&
+                            !stop_requested();
          ++i) {
       std::vector<double> p = center;
       p[i] += radius;
@@ -120,7 +124,7 @@ Result cobyla_minimize(const Objective& objective, std::vector<double> x0,
   double simplex_scale = rho;
 
   std::vector<double> a(n * n), b(n), gradient(n);
-  while (result.evaluations < options.maxfun) {
+  while (result.evaluations < options.maxfun && !stop_requested()) {
     if (simplex.points.size() < n + 1) break;  // budget died mid-rebuild
     const std::size_t best = simplex.best_index();
     const auto& xb = simplex.points[best];

@@ -12,6 +12,8 @@
 // machinery of the original (which MaxCut-QAOA never engages) is omitted —
 // see DESIGN.md "Substitutions".
 
+#include <functional>
+
 #include "optim/optimizer.hpp"
 
 namespace qq::optim {
@@ -20,6 +22,11 @@ struct CobylaOptions {
   double rhobeg = 0.5;   ///< initial trust-region radius / simplex edge
   double rhoend = 1e-4;  ///< final radius; convergence once reached
   int maxfun = 100;      ///< budget of objective evaluations
+  /// Cooperative stop hook, polled once per iteration (at most a few
+  /// objective evaluations apart). When it returns true the optimizer
+  /// returns its best-so-far with converged=false. Empty = never stop
+  /// early; results are bit-for-bit unchanged when it never fires.
+  std::function<bool()> should_stop;
 };
 
 Result cobyla_minimize(const Objective& objective, std::vector<double> x0,

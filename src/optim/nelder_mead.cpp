@@ -29,19 +29,25 @@ Result nelder_mead_minimize(const Objective& objective, std::vector<double> x0,
     return fx;
   };
 
+  auto stop_requested = [&options] {
+    return options.should_stop && options.should_stop();
+  };
+
   std::vector<std::vector<double>> pts(n + 1, x0);
   std::vector<double> vals(n + 1);
   vals[0] = evaluate(pts[0]);
   for (std::size_t i = 0; i < n; ++i) {
     pts[i + 1][i] += options.step;
     vals[i + 1] = evaluate(pts[i + 1]);
-    if (result.evaluations >= options.maxfun) return result;
+    if (result.evaluations >= options.maxfun || stop_requested()) {
+      return result;
+    }
   }
 
   std::vector<std::size_t> order(n + 1);
   std::vector<double> centroid(n), xr(n), xe(n), xc(n);
 
-  while (result.evaluations < options.maxfun) {
+  while (result.evaluations < options.maxfun && !stop_requested()) {
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(),
               [&vals](std::size_t i, std::size_t j) { return vals[i] < vals[j]; });
@@ -100,7 +106,9 @@ Result nelder_mead_minimize(const Objective& objective, std::vector<double> x0,
             pts[i][c] = pts[lo][c] + sigma * (pts[i][c] - pts[lo][c]);
           }
           vals[i] = evaluate(pts[i]);
-          if (result.evaluations >= options.maxfun) return result;
+          if (result.evaluations >= options.maxfun || stop_requested()) {
+            return result;
+          }
         }
       }
     }

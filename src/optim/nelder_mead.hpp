@@ -3,6 +3,8 @@
 // alongside COBYLA so the QAOA driver can swap optimizers (and tests can
 // cross-check convergence behaviour).
 
+#include <functional>
+
 #include "optim/optimizer.hpp"
 
 namespace qq::optim {
@@ -11,6 +13,9 @@ struct NelderMeadOptions {
   double step = 0.5;    ///< initial simplex edge length
   double ftol = 1e-9;   ///< spread-of-values convergence threshold
   int maxfun = 400;     ///< budget of objective evaluations
+  /// Cooperative stop hook, polled once per iteration; on true the best
+  /// point so far is returned with converged=false. Empty = never stop.
+  std::function<bool()> should_stop;
 };
 
 Result nelder_mead_minimize(const Objective& objective, std::vector<double> x0,

@@ -136,17 +136,27 @@ QaoaResult QaoaSolver::optimize(const QaoaOptions& options) const {
   };
 
   const std::vector<double> x0 = initial_parameters(options);
+  // optim is dependency-free, so the request context enters as a plain
+  // stop predicate; null context keeps the hook empty (bit-for-bit
+  // identical optimization to the pre-context code).
+  std::function<bool()> should_stop;
+  if (options.context != nullptr) {
+    const util::RequestContext* ctx = options.context;
+    should_stop = [ctx] { return ctx->stopped(); };
+  }
   optim::Result opt;
   if (options.optimizer == OptimizerKind::kCobyla) {
     optim::CobylaOptions copts;
     copts.rhobeg = options.rhobeg;
     copts.rhoend = 1e-4;
     copts.maxfun = budget;
+    copts.should_stop = std::move(should_stop);
     opt = optim::cobyla_minimize(objective, x0, copts);
   } else {
     optim::NelderMeadOptions nopts;
     nopts.step = options.rhobeg;
     nopts.maxfun = budget;
+    nopts.should_stop = std::move(should_stop);
     opt = optim::nelder_mead_minimize(objective, x0, nopts);
   }
 

@@ -15,6 +15,7 @@
 #include "qcircuit/ansatz.hpp"
 #include "qgraph/graph.hpp"
 #include "qsim/statevector.hpp"
+#include "util/cancellation.hpp"
 
 namespace qq::qaoa {
 
@@ -48,6 +49,11 @@ struct QaoaOptions {
   /// when its size equals 2 * layers (used by INTERP and the kNN warm
   /// start).
   std::vector<double> initial_parameters;
+  /// Cooperative stop state of the owning request (service layer). Viewed,
+  /// not owned; may be null. The optimizer polls it per iteration and
+  /// returns its best-so-far when it trips, so a multi-second COBYLA loop
+  /// observes cancellation/deadlines mid-solve.
+  const util::RequestContext* context = nullptr;
   std::uint64_t seed = 0;
 };
 

@@ -1,7 +1,10 @@
 #include "qaoa2/qaoa2.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -32,10 +35,12 @@ std::string resolved_spec(const std::string& spec, SubSolver fallback) {
   return spec.empty() ? sub_solver_name(fallback) : spec;
 }
 
-solver::SolveRequest make_request(const graph::Graph& g, std::uint64_t seed) {
+solver::SolveRequest make_request(const graph::Graph& g, std::uint64_t seed,
+                                  const util::RequestContext* context) {
   solver::SolveRequest request;
   request.graph = &g;
   request.seed = seed;
+  request.context = context;
   return request;
 }
 
@@ -186,16 +191,15 @@ maxcut::CutResult Qaoa2Driver::solve_subgraph(const graph::Graph& g,
                                               std::uint64_t seed) const {
   const solver::SolverPtr s = solver::SolverRegistry::global().make(
       sub_solver_name(which), solver_defaults());
-  return s->solve(make_request(g, seed)).cut;
+  return s->solve(make_request(g, seed, options_.context)).cut;
 }
 
-maxcut::CutResult Qaoa2Driver::solve_fitting_level(const graph::Graph& g,
-                                                   int level,
-                                                   std::uint64_t base_seed,
-                                                   Qaoa2Result& result) const {
+maxcut::CutResult Qaoa2Driver::solve_fitting_level(
+    const graph::Graph& g, int level, std::uint64_t base_seed,
+    Qaoa2Result& result, const util::RequestContext* context) const {
   const solver::Solver& s = level == 0 ? *sub_ : *merge_;
   const solver::SolveReport rep =
-      s.solve(make_request(g, mix_seed(base_seed, level, 0)));
+      s.solve(make_request(g, mix_seed(base_seed, level, 0), context));
   result.solve_seconds += rep.wall_seconds;
   result.quantum_solves += rep.quantum_solves;
   result.classical_solves += rep.classical_solves;
@@ -245,20 +249,63 @@ struct ComponentRun {
 
 }  // namespace
 
-class StreamPipeline {
+class StreamPipeline : public std::enable_shared_from_this<StreamPipeline> {
  public:
   StreamPipeline(const Qaoa2Driver& driver, sched::WorkflowEngine& engine,
-                 const graph::Graph& g,
-                 const std::vector<std::vector<graph::NodeId>>& components)
+                 const graph::Graph& g, const SolveTags& tags,
+                 Qaoa2Driver::DoneFn done)
       : driver_(driver),
         options_(driver.options()),
         engine_(engine),
         graph_(g),
-        components_(components) {}
+        tags_(tags),
+        done_(std::move(done)) {}
 
-  /// Submit every component's root task and drain the engine. Throws the
-  /// first task error, if any.
-  void run() {
+  /// Synchronous entry: shard on the caller-computed components, submit
+  /// every component's root task, and drain the engine. Throws the first
+  /// task error, if any (the engine's drain semantics, unchanged).
+  void run(std::vector<std::vector<graph::NodeId>> components) {
+    components_ = std::move(components);
+    start_components();
+    engine_.drain();
+  }
+
+  /// Asynchronous entry: submit one classical PLANNING task that computes
+  /// the component sharding (O(V+E) — off the caller's thread) and fans
+  /// out from there; `done_` fires when the last task settles.
+  void start() {
+    submit_task(sched::ResourceKind::kClassical, [this] {
+      if (graph_.num_nodes() <= options_.max_qubits) {
+        // Mirror the synchronous fits-on-device fast path — ONE solve of
+        // the whole graph — so async results match solve() bit-for-bit.
+        components_count_ =
+            static_cast<int>(graph::connected_components(graph_).size());
+        runs_.resize(1);
+        ComponentRun& c = runs_.front();
+        c.base_seed = options_.seed;
+        c.to_global.resize(static_cast<std::size_t>(graph_.num_nodes()));
+        for (std::size_t j = 0; j < c.to_global.size(); ++j) {
+          c.to_global[j] = static_cast<graph::NodeId>(j);
+        }
+        const solver::Solver& s = *driver_.sub_;
+        submit_task(s.resource_kind(), [this, &c] {
+          c.assignment = driver_
+                             .solve_fitting_level(graph_, 0, c.base_seed,
+                                                  c.partial, tags_.context)
+                             .assignment;
+        });
+        return;
+      }
+      components_ = graph::connected_components(graph_);
+      components_count_ = static_cast<int>(components_.size());
+      start_components();
+    });
+  }
+
+  const std::vector<ComponentRun>& runs() const noexcept { return runs_; }
+
+ private:
+  void start_components() {
     runs_.resize(components_.size());
     for (std::size_t i = 0; i < runs_.size(); ++i) {
       runs_[i].index = i;
@@ -267,19 +314,88 @@ class StreamPipeline {
     }
     for (std::size_t i = 0; i < runs_.size(); ++i) {
       ComponentRun& c = runs_[i];
-      engine_.submit({sched::ResourceKind::kClassical, [this, &c] {
-                        graph::Subgraph sub =
-                            graph_.induced(components_[c.index]);
-                        c.to_global = std::move(sub.to_global);
-                        start_level(c, 0, std::move(sub.graph));
-                      }});
+      submit_task(sched::ResourceKind::kClassical, [this, &c] {
+        graph::Subgraph sub = graph_.induced(components_[c.index]);
+        c.to_global = std::move(sub.to_global);
+        start_level(c, 0, std::move(sub.graph));
+      });
     }
-    engine_.drain();
   }
 
-  const std::vector<ComponentRun>& runs() const noexcept { return runs_; }
+  /// Every pipeline task goes through here: it carries the solve's tags,
+  /// checks the stop context before its payload (so a cancelled request's
+  /// still-queued tasks unwind instead of running), and participates in
+  /// the outstanding-task count that triggers the done callback. The
+  /// settle callback co-owns `this`, so the pipeline outlives its tasks
+  /// even if the caller drops the handle.
+  sched::TaskHandle submit_task(sched::ResourceKind kind,
+                                std::function<void()> body,
+                                const std::vector<sched::TaskHandle>& deps =
+                                    {}) {
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    ++submitted_;
+    sched::Task task;
+    task.kind = kind;
+    task.fair_class = tags_.fair_class;
+    task.group = tags_.group;
+    const util::RequestContext* ctx = tags_.context;
+    task.work = [ctx, body = std::move(body)] {
+      if (ctx != nullptr) ctx->throw_if_stopped();
+      body();
+      // A solve stopped MID-body returns its best-so-far instead of
+      // throwing; the boundary re-check turns that into a cancellation so
+      // a stopped request never masquerades as completed.
+      if (ctx != nullptr) ctx->throw_if_stopped();
+    };
+    auto self = shared_from_this();
+    task.on_settled = [self](std::exception_ptr err) {
+      self->task_settled(err);
+    };
+    return engine_.submit(std::move(task), deps);
+  }
 
- private:
+  /// Exactly-once per task, outside the engine lock. The LAST settle (no
+  /// task outstanding, and child submissions happen inside parent bodies,
+  /// i.e. before the parent settles — the count can only reach zero when
+  /// the whole chain is done) assembles the result and fires `done_`.
+  void task_settled(std::exception_ptr err) {
+    if (err) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = err;
+    }
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) finish();
+  }
+
+  void finish() {
+    if (!done_) return;  // synchronous run(): drain() delivers instead
+    Qaoa2Result result;
+    std::exception_ptr err;
+    {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      err = first_error_;
+    }
+    if (!err) {
+      result.components = components_count_;
+      maxcut::Assignment global(static_cast<std::size_t>(graph_.num_nodes()),
+                                0);
+      for (const ComponentRun& run : runs_) {
+        accumulate(result, run.partial);
+        for (std::size_t j = 0; j < run.to_global.size(); ++j) {
+          global[static_cast<std::size_t>(run.to_global[j])] =
+              run.assignment[j];
+        }
+      }
+      result.cut.assignment = std::move(global);
+      result.cut.value = maxcut::cut_value(graph_, result.cut.assignment);
+      result.engine_tasks = submitted_;
+    }
+    // Move the callback out before invoking: done handlers may destroy the
+    // service-side record that owns the last external reference to us.
+    Qaoa2Driver::DoneFn done = std::move(done_);
+    done_ = nullptr;
+    done(std::move(result), err);
+  }
+
   void start_level(ComponentRun& c, int level, graph::Graph g) {
     c.partial.levels = std::max(c.partial.levels, level + 1);
     if (g.num_nodes() <= options_.max_qubits) {
@@ -316,17 +432,16 @@ class StreamPipeline {
       // hardcoded best-of ran QAOA and GW on one seed.
       const std::uint64_t seed = mix_seed(c.base_seed, level, i);
       for (std::size_t a = 0; a < f.arms.size(); ++a) {
-        solves.push_back(engine_.submit(
-            {f.arms[a]->resource_kind(), [this, &c, level, i, a, seed] {
-               StreamFrame& fr = c.frames[static_cast<std::size_t>(level)];
-               fr.reports[i][a] = fr.arms[a]->solve(
-                   make_request(fr.subgraphs[i].graph, seed));
-             }}));
+        solves.push_back(submit_task(
+            f.arms[a]->resource_kind(), [this, &c, level, i, a, seed] {
+              StreamFrame& fr = c.frames[static_cast<std::size_t>(level)];
+              fr.reports[i][a] = fr.arms[a]->solve(
+                  make_request(fr.subgraphs[i].graph, seed, tags_.context));
+            }));
       }
     }
-    engine_.submit({sched::ResourceKind::kClassical,
-                    [this, &c, level] { finish_level(c, level); }},
-                   solves);
+    submit_task(sched::ResourceKind::kClassical,
+                [this, &c, level] { finish_level(c, level); }, solves);
   }
 
   /// Merge task body: select locals, build the signed coarse graph, start
@@ -353,11 +468,11 @@ class StreamPipeline {
   void submit_fitting_solve(ComponentRun& c, int level, graph::Graph g) {
     const solver::Solver& s = level == 0 ? *driver_.sub_ : *driver_.merge_;
     c.fitting_graph = std::move(g);
-    engine_.submit({s.resource_kind(), [this, &c, level] {
-                      const auto res = driver_.solve_fitting_level(
-                          c.fitting_graph, level, c.base_seed, c.partial);
-                      unwind(c, level, res.assignment);
-                    }});
+    submit_task(s.resource_kind(), [this, &c, level] {
+      const auto res = driver_.solve_fitting_level(
+          c.fitting_graph, level, c.base_seed, c.partial, tags_.context);
+      unwind(c, level, res.assignment);
+    });
   }
 
   void unwind(ComponentRun& c, int fitting_level,
@@ -376,8 +491,16 @@ class StreamPipeline {
   const Qaoa2Options& options_;
   sched::WorkflowEngine& engine_;
   const graph::Graph& graph_;
-  const std::vector<std::vector<graph::NodeId>>& components_;
+  SolveTags tags_;
+  Qaoa2Driver::DoneFn done_;  ///< empty in synchronous mode
+  std::vector<std::vector<graph::NodeId>> components_;
+  int components_count_ = 0;
   std::vector<ComponentRun> runs_;
+  /// Pipeline tasks not yet settled; the 1 -> 0 transition fires `done_`.
+  std::atomic<int> outstanding_{0};
+  std::atomic<int> submitted_{0};
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
 };
 
 // ---------------------------------------------------------------------------
@@ -394,7 +517,9 @@ void Qaoa2Driver::solve_level(const graph::Graph& g, int level,
 
   // Base case: the whole (coarse) graph fits on a device.
   if (g.num_nodes() <= options_.max_qubits) {
-    out_assignment = solve_fitting_level(g, level, base_seed, result).assignment;
+    out_assignment =
+        solve_fitting_level(g, level, base_seed, result, options_.context)
+            .assignment;
     return;
   }
 
@@ -425,14 +550,17 @@ void Qaoa2Driver::solve_level(const graph::Graph& g, int level,
 
   std::vector<sched::Task> tasks;
   tasks.reserve(parts.size() * arms.size());
+  const util::RequestContext* context = options_.context;
   for (std::size_t i = 0; i < parts.size(); ++i) {
     const std::uint64_t seed = mix_seed(base_seed, level, i);
     for (std::size_t a = 0; a < arms.size(); ++a) {
-      tasks.push_back({arms[a]->resource_kind(),
-                       [&subgraphs, &reports, &arms, i, a, seed] {
-                         reports[i][a] = arms[a]->solve(
-                             make_request(subgraphs[i].graph, seed));
-                       }});
+      sched::Task task;
+      task.kind = arms[a]->resource_kind();
+      task.work = [&subgraphs, &reports, &arms, i, a, seed, context] {
+        reports[i][a] =
+            arms[a]->solve(make_request(subgraphs[i].graph, seed, context));
+      };
+      tasks.push_back(std::move(task));
     }
   }
   const sched::BatchReport report = engine.run_batch(std::move(tasks));
@@ -469,7 +597,8 @@ Qaoa2Result Qaoa2Driver::solve(const graph::Graph& g) const {
     result.components =
         static_cast<int>(graph::connected_components(g).size());
     result.cut.assignment =
-        solve_fitting_level(g, 0, options_.seed, result).assignment;
+        solve_fitting_level(g, 0, options_.seed, result, options_.context)
+            .assignment;
     result.cut.value = maxcut::cut_value(g, result.cut.assignment);
     return result;
   }
@@ -484,9 +613,12 @@ Qaoa2Result Qaoa2Driver::solve(const graph::Graph& g) const {
   maxcut::Assignment global(static_cast<std::size_t>(g.num_nodes()), 0);
 
   if (options_.streaming) {
-    StreamPipeline pipeline(*this, engine, g, components);
-    pipeline.run();
-    for (const ComponentRun& run : pipeline.runs()) {
+    SolveTags tags;
+    tags.context = options_.context;
+    auto pipeline = std::make_shared<StreamPipeline>(*this, engine, g, tags,
+                                                     Qaoa2Driver::DoneFn{});
+    pipeline->run(components);
+    for (const ComponentRun& run : pipeline->runs()) {
       accumulate(result, run.partial);
       for (std::size_t j = 0; j < run.to_global.size(); ++j) {
         global[static_cast<std::size_t>(run.to_global[j])] =
@@ -520,6 +652,18 @@ Qaoa2Result Qaoa2Driver::solve(const graph::Graph& g) const {
   result.cut.assignment = std::move(global);
   result.cut.value = maxcut::cut_value(g, result.cut.assignment);
   return result;
+}
+
+std::shared_ptr<StreamPipeline> Qaoa2Driver::solve_async(
+    sched::WorkflowEngine& engine, const graph::Graph& g,
+    const SolveTags& tags, DoneFn done) const {
+  if (!done) {
+    throw std::invalid_argument("Qaoa2Driver::solve_async: empty callback");
+  }
+  auto pipeline = std::make_shared<StreamPipeline>(*this, engine, g, tags,
+                                                   std::move(done));
+  pipeline->start();
+  return pipeline;
 }
 
 Qaoa2Result solve_qaoa2(const graph::Graph& g, const Qaoa2Options& options) {

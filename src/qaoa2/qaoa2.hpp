@@ -19,6 +19,9 @@
 // sub-problem's seed is a pure function of (component, level, part).
 
 #include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -31,6 +34,7 @@
 #include "sched/engine.hpp"
 #include "sdp/gw.hpp"
 #include "solver/solver.hpp"
+#include "util/cancellation.hpp"
 
 namespace qq::qaoa2 {
 
@@ -80,7 +84,21 @@ struct Qaoa2Options {
   /// dependency-aware engine (default). `false` selects the level-barrier
   /// recursive pipeline; the cut is bit-for-bit identical either way.
   bool streaming = true;
+  /// Cooperative stop state threaded into every sub-solve (viewed, not
+  /// owned; may be null). A stopped context unwinds the remaining task
+  /// graph as cancelled; results are unchanged while it never trips.
+  const util::RequestContext* context = nullptr;
   std::uint64_t seed = 0;
+};
+
+/// Engine-level identity of one solve when many solves multiplex one
+/// engine (the service layer): which fair-share class its tasks bill to,
+/// which cancellation group scopes them, and the request's stop state.
+/// Defaults reproduce the single-tenant behavior exactly.
+struct SolveTags {
+  sched::ClassId fair_class = 0;
+  sched::GroupId group = sched::kNoGroup;
+  const util::RequestContext* context = nullptr;
 };
 
 struct LevelStats {
@@ -118,8 +136,18 @@ struct Qaoa2Result {
   std::vector<LevelStats> level_stats;  ///< ordered by level, ascending
 };
 
+class StreamPipeline;
+
 class Qaoa2Driver {
  public:
+  /// Completion callback of an asynchronous solve: the result (valid only
+  /// when `error` is null) and the first task error — a
+  /// util::CancelledError when the solve was cancelled / timed out.
+  /// Invoked exactly once, outside the engine lock, on whichever thread
+  /// settled the last task; it may submit further engine work but must not
+  /// block.
+  using DoneFn = std::function<void(Qaoa2Result, std::exception_ptr)>;
+
   /// Resolves the three solver roles through SolverRegistry::global() and
   /// validates the specs (std::invalid_argument on malformed or unknown
   /// ones, and when the merge solver is a best-of combinator).
@@ -140,6 +168,21 @@ class Qaoa2Driver {
 
   Qaoa2Result solve(const graph::Graph& g) const;
 
+  /// Asynchronous solve on a CALLER-owned engine: submits a planning task
+  /// and returns immediately; the component chains stream through the
+  /// engine under `tags` (fair-share class, cancellation group, stop
+  /// context) and `done` fires once when the last task settles. Many
+  /// concurrent solves — of many drivers — multiplex one engine this way;
+  /// `options().engine` and `options().streaming` are ignored. The graph,
+  /// the driver, and the engine must outlive the solve; the returned
+  /// handle keeps the pipeline state alive and is safe to drop (the
+  /// in-flight tasks co-own it). Results for a given (options, seed) match
+  /// the synchronous `solve` bit-for-bit when the context never trips.
+  std::shared_ptr<StreamPipeline> solve_async(sched::WorkflowEngine& engine,
+                                              const graph::Graph& g,
+                                              const SolveTags& tags,
+                                              DoneFn done) const;
+
  private:
   friend class StreamPipeline;
 
@@ -149,7 +192,9 @@ class Qaoa2Driver {
   /// be missing from level_stats entirely).
   maxcut::CutResult solve_fitting_level(const graph::Graph& g, int level,
                                         std::uint64_t base_seed,
-                                        Qaoa2Result& result) const;
+                                        Qaoa2Result& result,
+                                        const util::RequestContext* context)
+      const;
 
   /// Level-barrier recursion over one connected component (streaming off).
   void solve_level(const graph::Graph& g, int level, std::uint64_t base_seed,

@@ -26,11 +26,27 @@
 //
 // `run_batch` remains as a thin compatibility wrapper: submit every task
 // with no dependencies, wait for that batch, report batch-relative timings.
+//
+// MULTI-TENANCY (the service layer's substrate): tasks carry a fair-share
+// CLASS and a cancellation GROUP. Classes (add_class) are weighted queues
+// feeding each kind's slot queue — dispatch is start-time fair queuing over
+// per-(class, kind) virtual time, so a weight-3 tenant drains ~3x the work
+// of a weight-1 tenant under contention, while the default class 0 alone
+// reproduces the classic FIFO/depth-first order exactly (modeled on
+// ClickHouse's workload resource manager). Groups (open_group /
+// cancel_group) scope one request's tasks: cancel_group cancels every
+// queued member through the same transitive-cancel machinery a failed
+// dependency uses, marks the group so late submissions cancel on arrival,
+// and lets running members finish their current task (cooperative
+// preemption at task-graph boundaries). `Task::on_settled` fires exactly
+// once per task, outside the engine lock, for async completion tracking.
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace qq::util {
@@ -40,6 +56,34 @@ class ThreadPool;
 namespace qq::sched {
 
 enum class ResourceKind { kQuantum, kClassical };
+
+/// Fair-share workload class id; 0 is the always-present default class
+/// (weight 1).
+using ClassId = std::uint32_t;
+
+/// Cancellation-group id; kNoGroup means "not in any group".
+using GroupId = std::uint64_t;
+inline constexpr GroupId kNoGroup = 0;
+
+struct FairClassConfig {
+  std::string name = "default";
+  /// Relative share of each kind's slots under contention; must be > 0.
+  double weight = 1.0;
+};
+
+/// Per-class counters (class_stats() snapshot).
+struct FairClassStats {
+  ClassId id = 0;
+  std::string name;
+  double weight = 1.0;
+  std::size_t dispatched = 0;  ///< tasks handed a slot
+  std::size_t completed = 0;   ///< tasks that ran (including failed)
+  std::size_t cancelled = 0;   ///< tasks cancelled before running
+  std::size_t ready = 0;       ///< tasks ready now, waiting for a slot
+  double busy_seconds = 0.0;   ///< Σ service time inside `work`
+  /// Σ per-task (start - ready) — the class's slot/queue wait.
+  double queue_wait_seconds = 0.0;
+};
 
 struct EngineOptions {
   int quantum_slots = 2;
@@ -54,6 +98,15 @@ struct Task {
   ResourceKind kind = ResourceKind::kClassical;
   /// The payload; its return value is opaque to the engine.
   std::function<void()> work;
+  /// Fair-share class (add_class); 0 = the default class, weight 1.
+  ClassId fair_class = 0;
+  /// Cancellation group (open_group); kNoGroup = none.
+  GroupId group = kNoGroup;
+  /// Invoked exactly once after the task settles — ran to completion,
+  /// failed, or was cancelled before running — with its error (null on
+  /// success). Runs OUTSIDE the engine lock on whichever thread settled the
+  /// task; it may submit further tasks but must not block.
+  std::function<void(std::exception_ptr)> on_settled;
 };
 
 /// Opaque reference to a submitted task; valid for the engine's lifetime.
@@ -74,8 +127,12 @@ struct TaskTiming {
   double start_s = 0.0;   ///< `work` began executing
   double end_s = 0.0;     ///< `work` returned (or threw)
   double wait_s = 0.0;    ///< start_s - submit_s: slot wait + pool queueing
-  bool failed = false;    ///< `work` exited via an exception, or cancelled
-  bool cancelled = false; ///< never ran: a (transitive) dependency failed
+  /// `work` ran and exited via an exception. Disjoint from `cancelled`: a
+  /// task is either run (and possibly failed) or cancelled, never both.
+  bool failed = false;
+  /// Never ran: a (transitive) dependency failed or its group was
+  /// cancelled.
+  bool cancelled = false;
 };
 
 struct BatchReport {
@@ -101,9 +158,14 @@ struct EngineStats {
   double queue_wait_seconds = 0.0;
   std::size_t submitted = 0;
   std::size_t completed = 0;  ///< ran to completion, including failed tasks
-  std::size_t cancelled = 0;  ///< skipped because a dependency failed
+  std::size_t cancelled = 0;  ///< skipped: dependency failure or group cancel
   std::size_t quantum_tasks = 0;
   std::size_t classical_tasks = 0;
+  // Instantaneous gauges (the service's admission/backlog signal).
+  std::size_t ready_quantum = 0;      ///< ready now, waiting for a slot
+  std::size_t ready_classical = 0;
+  std::size_t inflight_quantum = 0;   ///< holding a slot (dispatched/running)
+  std::size_t inflight_classical = 0;
 };
 
 /// Ideal parallel drain time for the given per-kind busy totals, computed
@@ -131,6 +193,37 @@ class WorkflowEngine {
   const EngineOptions& options() const noexcept { return options_; }
   /// The pool tasks execute on (options().pool or the global pool).
   util::ThreadPool& pool() const noexcept;
+
+  /// The engine clock (seconds since construction) — the time base of every
+  /// TaskTiming. Thread-safe.
+  double now() const noexcept;
+
+  /// Register a fair-share class. Throws std::invalid_argument for a
+  /// non-positive weight. Thread-safe; classes are never removed.
+  ClassId add_class(FairClassConfig config);
+  std::vector<FairClassStats> class_stats() const;
+
+  /// Open a cancellation group for one request's tasks.
+  GroupId open_group();
+
+  /// Cancel every not-yet-running member of `group` (transitively, through
+  /// the same machinery as dependency-failure cancellation) and mark the
+  /// group so tasks submitted into it afterwards cancel on arrival. Members
+  /// already running finish their current task; their successors cancel.
+  /// Returns the number of tasks newly cancelled. Unknown or closed groups
+  /// return 0.
+  std::size_t cancel_group(GroupId group);
+
+  bool group_cancelled(GroupId group) const;
+
+  /// Drop a group's bookkeeping once the owning request has settled (its
+  /// member list grows with every submission until closed).
+  void close_group(GroupId group);
+
+  /// Claim and inline-run one dispatched task, if any — lets an external
+  /// waiter donate its thread without entering wait()/drain(). Returns
+  /// false when nothing was claimable.
+  bool try_run_one();
 
   /// Enqueue `task` to run once every task in `deps` has completed
   /// successfully. A task with no (remaining) dependencies enters its

@@ -1,5 +1,6 @@
 #include "sdp/gw.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -22,9 +23,15 @@ GwResult goemans_williamson(const graph::Graph& g, const GwOptions& options) {
   util::Rng rng(options.seed ^ 0x6077a11e5ULL);
 
   double sum = 0.0;
+  int slicings_done = 0;
   std::vector<double> hyperplane(k);
   maxcut::Assignment assignment(static_cast<std::size_t>(n));
   for (int s = 0; s < options.slicings; ++s) {
+    // The first slicing always runs so a stopped request still gets a
+    // well-formed (if poor) assignment back from the in-flight solve.
+    if (s > 0 && options.context != nullptr && options.context->stopped()) {
+      break;
+    }
     for (double& c : hyperplane) c = util::normal(rng);
     for (graph::NodeId u = 0; u < n; ++u) {
       const double* vu = &sdp.vectors[static_cast<std::size_t>(u) * k];
@@ -34,6 +41,7 @@ GwResult goemans_williamson(const graph::Graph& g, const GwOptions& options) {
     }
     const double value = maxcut::cut_value(g, assignment);
     sum += value;
+    ++slicings_done;
     // First slicing is adopted unconditionally: a fixed sentinel would
     // return an empty assignment when every rounding lands below it
     // (possible on all-negative graphs — same bug class as the
@@ -43,7 +51,7 @@ GwResult goemans_williamson(const graph::Graph& g, const GwOptions& options) {
       result.best.assignment = assignment;
     }
   }
-  result.average_value = sum / options.slicings;
+  result.average_value = sum / std::max(slicings_done, 1);
   if (n == 0) {
     result.best.value = 0.0;
     result.average_value = 0.0;

@@ -7,6 +7,7 @@
 
 #include "maxcut/cut.hpp"
 #include "sdp/mixing_method.hpp"
+#include "util/cancellation.hpp"
 
 namespace qq::sdp {
 
@@ -14,6 +15,10 @@ struct GwOptions {
   MixingOptions sdp;
   int slicings = 30;
   std::uint64_t seed = 7;
+  /// Cooperative stop state, polled between hyperplane slicings (the SDP
+  /// solve itself runs to completion — it converges in bounded sweeps).
+  /// Viewed, not owned; may be null.
+  const util::RequestContext* context = nullptr;
 };
 
 struct GwResult {

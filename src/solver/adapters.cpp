@@ -50,6 +50,7 @@ class QaoaAdapter final : public LeafSolver {
   SolveReport do_solve(const SolveRequest& request) const override {
     qaoa::QaoaOptions opts = options_;
     opts.seed = request.seed;
+    opts.context = request.context;
     if (request.eval_budget) opts.max_iterations = *request.eval_budget;
     const qaoa::QaoaResult res = qaoa::solve_qaoa(*request.graph, opts);
     SolveReport report;
@@ -77,6 +78,7 @@ class RqaoaAdapter final : public LeafSolver {
     qaoa::RqaoaOptions opts;
     opts.qaoa = qaoa_;
     opts.qaoa.seed = request.seed;
+    opts.qaoa.context = request.context;
     opts.cutoff = cutoff_;
     if (request.eval_budget) opts.qaoa.max_iterations = *request.eval_budget;
     const qaoa::RqaoaResult res = qaoa::solve_rqaoa(*request.graph, opts);
@@ -105,6 +107,7 @@ class GwAdapter final : public LeafSolver {
     sdp::GwOptions opts = options_;
     opts.seed = request.seed;
     opts.sdp.seed = request.seed ^ kGwSdpSalt;
+    opts.context = request.context;
     const sdp::GwResult res = sdp::goemans_williamson(*request.graph, opts);
     SolveReport report;
     report.cut = res.best;
@@ -141,8 +144,10 @@ class AnnealAdapter final : public LeafSolver {
  protected:
   SolveReport do_solve(const SolveRequest& request) const override {
     util::Rng rng(request.seed ^ kAnnealSalt);
+    maxcut::AnnealOptions opts = options_;
+    opts.context = request.context;
     SolveReport report;
-    report.cut = maxcut::simulated_annealing(*request.graph, rng, options_);
+    report.cut = maxcut::simulated_annealing(*request.graph, rng, opts);
     return report;
   }
 
@@ -160,8 +165,8 @@ class LocalSearchAdapter final : public LeafSolver {
   SolveReport do_solve(const SolveRequest& request) const override {
     util::Rng rng(request.seed ^ kLocalSearchSalt);
     SolveReport report;
-    report.cut =
-        maxcut::one_exchange_restarts(*request.graph, rng, restarts_);
+    report.cut = maxcut::one_exchange_restarts(*request.graph, rng, restarts_,
+                                               request.context);
     return report;
   }
 

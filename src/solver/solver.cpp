@@ -1,5 +1,7 @@
 #include "solver/solver.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "util/timer.hpp"
@@ -16,6 +18,10 @@ SolveReport Solver::solve(const SolveRequest& request) const {
   if (request.graph == nullptr) {
     throw std::invalid_argument("Solver::solve: request.graph is null");
   }
+  // A stopped request never starts a backend — the CancelledError unwinds
+  // through the engine's transitive-cancel machinery so the rest of the
+  // request's task graph settles as cancelled, not failed.
+  if (request.context != nullptr) request.context->throw_if_stopped();
   const graph::Graph& g = *request.graph;
 
   // Shared trivial guard: nothing to cut. The report still counts as a
@@ -32,14 +38,34 @@ SolveReport Solver::solve(const SolveRequest& request) const {
     return report;
   }
 
+  // An armed evaluation budget is a hard cap shared by every solve of the
+  // request: the backend sees min(its requested budget, what is left), and
+  // the evaluations it reports are charged back so the NEXT solve of the
+  // same request sees a smaller remainder.
+  SolveRequest effective = request;
+  if (request.context != nullptr && request.context->eval_budget_armed()) {
+    const int remaining = static_cast<int>(std::min<std::int64_t>(
+        request.context->evals_remaining(),
+        std::numeric_limits<int>::max()));
+    effective.eval_budget =
+        request.eval_budget ? std::min(*request.eval_budget, remaining)
+                            : remaining;
+  }
+
   util::Timer timer;
-  SolveReport report = do_solve(request);
+  SolveReport report = do_solve(effective);
   report.wall_seconds = timer.seconds();
   report.solver = name();
   if (report.quantum_solves + report.classical_solves == 0) {
     const auto [q, c] = solve_counts();
     report.quantum_solves = q;
     report.classical_solves = c;
+  }
+  // Leaves charge their own evaluations; a combinator's children each went
+  // through this same path already, so charging its aggregated count again
+  // would double-bill the budget.
+  if (request.context != nullptr && children().empty()) {
+    request.context->charge_evals(report.evaluations);
   }
   return report;
 }

@@ -29,6 +29,7 @@
 #include "qgraph/graph.hpp"
 #include "sched/engine.hpp"
 #include "sdp/gw.hpp"
+#include "util/cancellation.hpp"
 
 namespace qq::solver {
 
@@ -49,6 +50,13 @@ struct SolveRequest {
   /// Objective-evaluation budget; honored by the QAOA/RQAOA backends
   /// (overrides their configured max_iterations).
   std::optional<int> eval_budget;
+  /// Cooperative stop state of the owning request (service layer). Viewed,
+  /// not owned; may be null. `Solver::solve` refuses to start once it has
+  /// tripped (throws util::CancelledError), clamps `eval_budget` to the
+  /// context's remaining evaluation budget, charges the evaluations the
+  /// solve performed, and the adapters hand it to their backends so long
+  /// optimizer loops / sweeps / slicings stop mid-solve.
+  const util::RequestContext* context = nullptr;
 };
 
 /// A named scalar a backend wants to surface alongside the cut (GW's

@@ -558,7 +558,8 @@ TEST(Engine, FailedDependencyCancelsSuccessorsTransitively) {
   EXPECT_THROW(std::rethrow_exception(error), std::runtime_error);
   EXPECT_EQ(runs.load(), 1);  // only `ok` ran
   EXPECT_TRUE(engine.timing(child).cancelled);
-  EXPECT_TRUE(engine.timing(child).failed);
+  // Disjoint flags: a cancelled task never ran, so it is not "failed".
+  EXPECT_FALSE(engine.timing(child).failed);
   EXPECT_TRUE(engine.timing(grandchild).cancelled);
   EXPECT_FALSE(engine.timing(ok).failed);
   // A fresh dependant of the failed task is cancelled at submit time.
@@ -733,6 +734,256 @@ TEST(Engine, RunBatchStillWorksAfterStreamingUse) {
     EXPECT_LE(t.submit_s, t.start_s + 1e-9);
     EXPECT_LT(t.end_s, report.wall_seconds + 1e-9);
   }
+}
+
+// ------------------------------------------- fair share, groups, settle ----
+
+TEST(Engine, AddClassValidatesWeightAndSubmitValidatesIds) {
+  WorkflowEngine engine(EngineOptions{1, 1});
+  EXPECT_THROW(engine.add_class({"zero", 0.0}), std::invalid_argument);
+  EXPECT_THROW(engine.add_class({"negative", -1.0}), std::invalid_argument);
+  Task unknown_class;
+  unknown_class.kind = ResourceKind::kClassical;
+  unknown_class.work = [] {};
+  unknown_class.fair_class = 7;
+  EXPECT_THROW(engine.submit(std::move(unknown_class)),
+               std::invalid_argument);
+  Task unknown_group;
+  unknown_group.kind = ResourceKind::kClassical;
+  unknown_group.work = [] {};
+  unknown_group.group = 12345;
+  EXPECT_THROW(engine.submit(std::move(unknown_group)),
+               std::invalid_argument);
+  EXPECT_FALSE(engine.group_cancelled(12345));
+  EXPECT_EQ(engine.cancel_group(12345), 0u);
+}
+
+TEST(Engine, FairShareWeightedDispatchUnderContention) {
+  // One classical slot, two classes weighted 3:1, all tasks released at
+  // once behind a shared root: SFQ must interleave ~3 heavy-class tasks
+  // per light-class task while both are backlogged.
+  WorkflowEngine engine(EngineOptions{1, 1});
+  const ClassId heavy = engine.add_class({"heavy", 3.0});
+  const ClassId light = engine.add_class({"light", 1.0});
+  // Generous root sleep: every task below must be submitted (queued)
+  // before the root releases them, even under sanitizers.
+  const TaskHandle root =
+      engine.submit({ResourceKind::kClassical, [] {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(100));
+                     }});
+  std::mutex order_mutex;
+  std::vector<ClassId> order;
+  auto task_of = [&](ClassId cls) {
+    Task t;
+    t.kind = ResourceKind::kClassical;
+    t.fair_class = cls;
+    t.work = [&order_mutex, &order, cls] {
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(cls);
+    };
+    return t;
+  };
+  for (int i = 0; i < 12; ++i) engine.submit(task_of(heavy), {root});
+  for (int i = 0; i < 12; ++i) engine.submit(task_of(light), {root});
+  engine.drain();
+  ASSERT_EQ(order.size(), 24u);
+  // While both classes were backlogged (the first 16 completions), the
+  // heavy class must get roughly its 3x share; exact counts depend on the
+  // measured-cost EWMA, so assert the ratio loosely.
+  int heavy_first = 0;
+  for (std::size_t i = 0; i < 16; ++i) heavy_first += order[i] == heavy;
+  EXPECT_GE(heavy_first, 10) << "weight-3 class undersupplied";
+  EXPECT_LE(heavy_first, 14) << "weight-1 class starved";
+
+  const std::vector<FairClassStats> stats = engine.class_stats();
+  ASSERT_EQ(stats.size(), 3u);  // default + heavy + light
+  EXPECT_EQ(stats[heavy].name, "heavy");
+  EXPECT_EQ(stats[heavy].completed, 12u);
+  EXPECT_EQ(stats[light].completed, 12u);
+  EXPECT_GT(stats[heavy].busy_seconds, 0.0);
+  EXPECT_GT(stats[light].queue_wait_seconds, 0.0);
+  EXPECT_EQ(stats[0].completed, 1u);  // the root ran as the default class
+}
+
+TEST(Engine, DefaultClassAloneKeepsFifoOrder) {
+  // Single-tenant behavior must be untouched: with only class 0, ready
+  // tasks of one kind on one slot run in submission order.
+  WorkflowEngine engine(EngineOptions{1, 1});
+  const TaskHandle root =
+      engine.submit({ResourceKind::kClassical, [] {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(50));
+                     }});
+  std::mutex order_mutex;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    engine.submit({ResourceKind::kClassical,
+                   [&order_mutex, &order, i] {
+                     std::lock_guard<std::mutex> lock(order_mutex);
+                     order.push_back(i);
+                   }},
+                  {root});
+  }
+  engine.drain();
+  ASSERT_EQ(order.size(), 8u);
+  // Successor release pushes to the FRONT in reverse submission order, so
+  // dependents of one task run newest-first (depth-first); this pins the
+  // exact pre-fair-share order.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], 7 - i);
+}
+
+TEST(Engine, CancelGroupCancelsQueuedAndLateMembers) {
+  WorkflowEngine engine(EngineOptions{1, 1});
+  std::atomic<int> runs{0};
+  std::atomic<int> settles{0};
+  std::atomic<int> settle_errors{0};
+  // Hold the single classical slot so the group's tasks stay queued.
+  std::atomic<bool> release{false};
+  engine.submit({ResourceKind::kClassical, [&release] {
+                   while (!release.load()) {
+                     std::this_thread::sleep_for(
+                         std::chrono::microseconds(50));
+                   }
+                 }});
+  const GroupId group = engine.open_group();
+  EXPECT_FALSE(engine.group_cancelled(group));
+  std::vector<TaskHandle> members;
+  for (int i = 0; i < 5; ++i) {
+    Task t;
+    t.kind = ResourceKind::kClassical;
+    t.group = group;
+    t.work = [&runs] { runs++; };
+    t.on_settled = [&settles, &settle_errors](std::exception_ptr err) {
+      settles++;
+      if (err) settle_errors++;
+    };
+    members.push_back(engine.submit(std::move(t)));
+  }
+  EXPECT_EQ(engine.stats().ready_classical, 5u);
+  EXPECT_EQ(engine.cancel_group(group), 5u);
+  EXPECT_TRUE(engine.group_cancelled(group));
+  EXPECT_EQ(engine.stats().ready_classical, 0u);
+  EXPECT_EQ(settles.load(), 5);
+  EXPECT_EQ(settle_errors.load(), 5);
+  for (const TaskHandle h : members) {
+    EXPECT_TRUE(engine.finished(h));
+    EXPECT_TRUE(engine.timing(h).cancelled);
+    EXPECT_FALSE(engine.timing(h).failed);
+  }
+  // A submission into the cancelled group cancels on arrival.
+  Task late;
+  late.kind = ResourceKind::kClassical;
+  late.group = group;
+  late.work = [&runs] { runs++; };
+  late.on_settled = [&settles](std::exception_ptr) { settles++; };
+  const TaskHandle late_h = engine.submit(std::move(late));
+  EXPECT_TRUE(engine.finished(late_h));
+  EXPECT_EQ(settles.load(), 6);
+  engine.close_group(group);
+  EXPECT_FALSE(engine.group_cancelled(group));  // closed groups are unknown
+  release = true;
+  // Group cancellation must NOT poison the engine's first_error: a plain
+  // drain() would rethrow it.
+  engine.drain();
+  EXPECT_EQ(runs.load(), 0);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cancelled, 6u);
+  EXPECT_EQ(stats.completed, 1u);  // the blocker
+}
+
+TEST(Engine, OnSettledFiresExactlyOncePerOutcome) {
+  WorkflowEngine engine(EngineOptions{1, 1});
+  std::atomic<int> ok_settles{0};
+  std::atomic<int> fail_settles{0};
+  std::atomic<int> cancel_settles{0};
+  Task ok;
+  ok.kind = ResourceKind::kClassical;
+  ok.work = [] {};
+  ok.on_settled = [&ok_settles](std::exception_ptr err) {
+    if (!err) ok_settles++;
+  };
+  engine.submit(std::move(ok));
+  Task bad;
+  bad.kind = ResourceKind::kClassical;
+  bad.work = [] { throw std::runtime_error("boom"); };
+  bad.on_settled = [&fail_settles](std::exception_ptr err) {
+    if (err) fail_settles++;
+  };
+  const TaskHandle bad_h = engine.submit(std::move(bad));
+  Task child;
+  child.kind = ResourceKind::kClassical;
+  child.work = [] {};
+  child.on_settled = [&cancel_settles](std::exception_ptr err) {
+    if (err) cancel_settles++;
+  };
+  engine.submit(std::move(child), {bad_h});
+  std::exception_ptr error;
+  engine.drain(&error);
+  EXPECT_TRUE(error != nullptr);
+  EXPECT_EQ(ok_settles.load(), 1);
+  EXPECT_EQ(fail_settles.load(), 1);
+  EXPECT_EQ(cancel_settles.load(), 1);
+}
+
+TEST(Engine, StatsGaugesTrackReadyAndInflight) {
+  WorkflowEngine engine(EngineOptions{1, 1});
+  std::atomic<bool> release{false};
+  engine.submit({ResourceKind::kClassical, [&release] {
+                   while (!release.load()) {
+                     std::this_thread::sleep_for(
+                         std::chrono::microseconds(50));
+                   }
+                 }});
+  for (int i = 0; i < 3; ++i) {
+    engine.submit({ResourceKind::kClassical, [] {}});
+  }
+  // The blocker holds the only classical slot; the rest are ready.
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.inflight_classical, 1u);
+  EXPECT_EQ(stats.ready_classical, 3u);
+  EXPECT_EQ(stats.inflight_quantum, 0u);
+  EXPECT_EQ(stats.ready_quantum, 0u);
+  release = true;
+  engine.drain();
+  stats = engine.stats();
+  EXPECT_EQ(stats.inflight_classical, 0u);
+  EXPECT_EQ(stats.ready_classical, 0u);
+}
+
+TEST(Engine, TryRunOneClaimsADispatchedTask) {
+  // Pin a pool of one and occupy its only thread, so dispatched tasks can
+  // only run when the caller donates its thread via try_run_one.
+  util::ThreadPool pool(1);
+  EngineOptions opts;
+  opts.quantum_slots = 1;
+  opts.classical_slots = 1;
+  opts.pool = &pool;
+  WorkflowEngine engine(opts);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  engine.submit({ResourceKind::kQuantum, [&started, &release] {
+                   started = true;
+                   while (!release.load()) {
+                     std::this_thread::sleep_for(
+                         std::chrono::microseconds(50));
+                   }
+                 }});
+  // Wait for the pool thread to CLAIM the blocker, so try_run_one below
+  // cannot claim it instead (and spin on `release` forever).
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  std::atomic<int> runs{0};
+  engine.submit({ResourceKind::kClassical, [&runs] { runs++; }});
+  // The classical task is dispatched (its slot is free) but the pool's one
+  // thread is stuck in the quantum blocker.
+  EXPECT_TRUE(engine.try_run_one());
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_FALSE(engine.try_run_one());  // nothing else claimable
+  release = true;
+  engine.drain();
 }
 
 }  // namespace
