@@ -11,6 +11,7 @@
 //   ./bench_fig3_grid --nodes 15..20 --layers 3,4,5 ...
 
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "grid_sweep.hpp"
@@ -116,7 +117,7 @@ int main(int argc, char** argv) {
               low_p_wins, high_p_wins,
               low_p_wins > high_p_wins ? "REPRODUCED" : "NOT reproduced");
 
-  double best_cell = -1.0;
+  double best_cell = -std::numeric_limits<double>::infinity();
   std::size_t best_r = 0, best_l = 0;
   for (std::size_t r = 0; r < config.rhobeg_grid.size(); ++r) {
     for (std::size_t l = 0; l < config.layer_grid.size(); ++l) {

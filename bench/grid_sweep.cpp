@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <stdexcept>
 
 #include "ml/features.hpp"
 #include "qaoa/qaoa.hpp"
 #include "qgraph/generators.hpp"
 #include "solver/registry.hpp"
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qq::bench {
@@ -59,7 +59,7 @@ SweepResult run_grid_sweep(const SweepConfig& config) {
   }
 
   // Grid-win counters per (weighted, rhobeg, p), accumulated across graphs.
-  std::mutex mutex;
+  util::Mutex mutex;
   std::atomic<int> qaoa_runs{0};
 
   // Above ~20 qubits a single state vector is large enough that the inner
@@ -134,7 +134,7 @@ SweepResult run_grid_sweep(const SweepConfig& config) {
         }
 
         const double grid_points = static_cast<double>(n_layers * n_rho);
-        std::lock_guard<std::mutex> lock(mutex);
+        util::MutexLock lock(mutex);
         const auto w = static_cast<std::size_t>(task.weighted);
         const auto ni = static_cast<std::size_t>(task.node_idx);
         const auto pi = static_cast<std::size_t>(task.prob_idx);

@@ -1,9 +1,10 @@
 #include "maxcut/exact.hpp"
 
 #include <bit>
-#include <mutex>
+#include <limits>
 #include <stdexcept>
 
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qq::maxcut {
@@ -52,15 +53,20 @@ CutResult solve_exact(const graph::Graph& g) {
   const int free_bits = n - 1;
   const std::uint64_t total = 1ULL << free_bits;
 
-  std::mutex mutex;
-  double best_value = -1.0;
+  util::Mutex mutex;
+  // Seed the cross-chunk merge from -inf, not a magic sentinel: every
+  // chunk's best is a REAL cut value, and a finite seed silently wins
+  // whenever all of them dip below it (the `-1.0`-sentinel argmax family
+  // qq_lint flags; here code 0 — the empty cut, value 0 — happens to be
+  // enumerated, but the merge must not rely on that).
+  double best_value = -std::numeric_limits<double>::infinity();
   std::uint64_t best_code = 0;
 
   util::parallel_for_chunks(
       0, total,
       [&](std::size_t lo, std::size_t hi) {
         const auto [value, code] = scan_range(g, free_bits, lo, hi);
-        std::lock_guard<std::mutex> lock(mutex);
+        util::MutexLock lock(mutex);
         if (value > best_value ||
             (value == best_value && code < best_code)) {
           best_value = value;

@@ -1,6 +1,7 @@
 #include "qaoa/rqaoa.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "maxcut/exact.hpp"
@@ -41,8 +42,12 @@ RqaoaResult solve_rqaoa(const graph::Graph& g, const RqaoaOptions& options) {
     const sim::StateVector sv =
         solver.state(circuit::unpack_angles(round.parameters));
 
-    // Strongest edge correlation decides the elimination.
-    double best_abs = -1.0;
+    // Strongest edge correlation decides the elimination. Seeded from -inf
+    // so the first edge always wins on its own merits — |m| >= 0 made the
+    // old `-1.0` sentinel unreachable, but the pattern is exactly the
+    // argmax family qq_lint bans (PR 6 hit it twice where values COULD go
+    // below the sentinel).
+    double best_abs = -std::numeric_limits<double>::infinity();
     graph::Edge best_edge{0, 0, 0.0};
     double best_m = 0.0;
     for (const graph::Edge& e : cur.edges()) {

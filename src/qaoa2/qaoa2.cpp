@@ -4,12 +4,12 @@
 #include <atomic>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "qaoa2/merge.hpp"
 #include "solver/registry.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -360,7 +360,7 @@ class StreamPipeline : public std::enable_shared_from_this<StreamPipeline> {
   /// the whole chain is done) assembles the result and fires `done_`.
   void task_settled(std::exception_ptr err) {
     if (err) {
-      std::lock_guard<std::mutex> lock(error_mutex_);
+      util::MutexLock lock(error_mutex_);
       if (!first_error_) first_error_ = err;
     }
     if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) finish();
@@ -371,7 +371,7 @@ class StreamPipeline : public std::enable_shared_from_this<StreamPipeline> {
     Qaoa2Result result;
     std::exception_ptr err;
     {
-      std::lock_guard<std::mutex> lock(error_mutex_);
+      util::MutexLock lock(error_mutex_);
       err = first_error_;
     }
     if (!err) {
@@ -499,8 +499,8 @@ class StreamPipeline : public std::enable_shared_from_this<StreamPipeline> {
   /// Pipeline tasks not yet settled; the 1 -> 0 transition fires `done_`.
   std::atomic<int> outstanding_{0};
   std::atomic<int> submitted_{0};
-  std::mutex error_mutex_;
-  std::exception_ptr first_error_;
+  util::Mutex error_mutex_;
+  std::exception_ptr first_error_ QQ_GUARDED_BY(error_mutex_);
 };
 
 // ---------------------------------------------------------------------------

@@ -3,15 +3,15 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "util/cancellation.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -118,12 +118,13 @@ struct WorkflowEngine::Impl {
 
   double now() const noexcept { return clock.seconds(); }
 
-  // ---- everything below is guarded by `mutex` -----------------------------
+  // ---- *_locked helpers: QQ_REQUIRES(mutex) makes the old implicit
+  // "called under the lock" convention a compiler-checked contract --------
 
   /// Move a node into its class's ready queue for kind k. Successors jump
   /// the queue (depth-first, see run_task); fresh submissions join the
   /// back.
-  void enqueue_ready_locked(std::size_t i, bool front) {
+  void enqueue_ready_locked(std::size_t i, bool front) QQ_REQUIRES(mutex) {
     Node& node = nodes[i];
     const int k = kind_index(node.task.kind);
     ClassInfo& cls = classes[node.task.fair_class];
@@ -148,7 +149,8 @@ struct WorkflowEngine::Impl {
   /// fair share); with only the default class this degenerates to the
   /// classic FIFO pop. A task is only ever submitted once it holds its
   /// slot, so no pool thread can park in an acquire.
-  void dispatch_locked(const std::shared_ptr<Impl>& self, int k) {
+  void dispatch_locked(const std::shared_ptr<Impl>& self, int k)
+      QQ_REQUIRES(mutex) {
     while (inflight[k] < caps[k]) {
       ClassInfo* best = nullptr;
       for (ClassInfo& cls : classes) {
@@ -184,8 +186,8 @@ struct WorkflowEngine::Impl {
   /// caller never touches the deque without the lock: element references
   /// are stable under push_back, but operator[] itself reads the deque's
   /// internal map, which a concurrent submit may be growing.
-  Node* try_claim(std::size_t i) {
-    std::lock_guard<std::mutex> lock(mutex);
+  Node* try_claim(std::size_t i) QQ_EXCLUDES(mutex) {
+    util::MutexLock lock(mutex);
     if (nodes[i].status != Status::kDispatched) return nullptr;
     nodes[i].status = Status::kRunning;
     return &nodes[i];
@@ -194,11 +196,10 @@ struct WorkflowEngine::Impl {
   /// Cancel a blocked or ready node (and, transitively, its successors)
   /// because a dependency failed or its group was cancelled. Iterative
   /// worklist: a dependency chain can be arbitrarily long, so recursion
-  /// would risk the stack. Called with `mutex` held; the nodes' on_settled
-  /// callbacks are collected into `settled` for the caller to invoke after
-  /// unlocking.
+  /// would risk the stack. The nodes' on_settled callbacks are collected
+  /// into `settled` for the caller to invoke after unlocking.
   void cancel_locked(std::size_t root, const std::exception_ptr& err,
-                     std::vector<SettledFn>& settled) {
+                     std::vector<SettledFn>& settled) QQ_REQUIRES(mutex) {
     std::vector<std::size_t> worklist{root};
     while (!worklist.empty()) {
       const std::size_t i = worklist.back();
@@ -234,7 +235,8 @@ struct WorkflowEngine::Impl {
   /// Execute a claimed task (caller holds no lock; `node` was resolved
   /// under it) and do its completion bookkeeping: timings, slot handoff,
   /// successor release, settle callbacks.
-  void run_task(const std::shared_ptr<Impl>& self, Node& node) {
+  void run_task(const std::shared_ptr<Impl>& self, Node& node)
+      QQ_EXCLUDES(mutex) {
     const double start = now();
     std::exception_ptr err;
     // A failing task must not abandon the graph while siblings still
@@ -254,7 +256,7 @@ struct WorkflowEngine::Impl {
     SettledFn own_settled;
     std::vector<SettledFn> cancelled_settled;
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      util::MutexLock lock(mutex);
       const int k = kind_index(node.task.kind);
       ClassInfo& cls = classes[node.task.fair_class];
       node.timing.start_s = start;
@@ -317,8 +319,8 @@ struct WorkflowEngine::Impl {
   /// queue, and otherwise nap briefly. Foreign coarse tasks are never
   /// adopted. `done` is evaluated with `mutex` held.
   void help_until(const std::shared_ptr<Impl>& self,
-                  const std::function<bool()>& done) {
-    std::unique_lock<std::mutex> lock(mutex);
+                  const std::function<bool()>& done) QQ_EXCLUDES(mutex) {
+    util::MutexLock lock(mutex);
     while (!done()) {
       Node* mine = nullptr;
       while (!dispatched.empty()) {
@@ -339,35 +341,42 @@ struct WorkflowEngine::Impl {
       lock.unlock();
       const bool helped = pool->try_help_chunk();
       lock.lock();
+      // Predicate-free nap (CondVar has no predicate waits — the analysis
+      // cannot see through the predicate closure); the outer loop re-checks
+      // `done` under the lock after every wake.
       if (!helped && !done()) {
-        cv.wait_for(lock, std::chrono::milliseconds(1), done);
+        cv.wait_for(lock, std::chrono::milliseconds(1));
       }
     }
   }
 
-  mutable std::mutex mutex;
-  std::condition_variable cv;
+  mutable util::Mutex mutex;
+  util::CondVar cv;
   util::Timer clock;  ///< engine-lifetime clock; all timings are relative
   util::ThreadPool* pool;
   std::array<int, 2> caps;
-  std::deque<Node> nodes;  ///< deque: stable references while growing
-  std::vector<ClassInfo> classes;  ///< [0] = default class
-  std::array<double, 2> vclock{{0.0, 0.0}};  ///< per-kind SFQ virtual clock
-  std::unordered_map<GroupId, GroupInfo> groups;
-  GroupId next_group = 1;
+  /// Deque: stable element references while growing. A claimed task's
+  /// Node& is deliberately mutated outside the lock (status kRunning fences
+  /// it off); the analysis checks direct `nodes` accesses only.
+  std::deque<Node> nodes QQ_GUARDED_BY(mutex);
+  std::vector<ClassInfo> classes QQ_GUARDED_BY(mutex);  ///< [0] = default
+  /// Per-kind SFQ virtual clock.
+  std::array<double, 2> vclock QQ_GUARDED_BY(mutex) = {{0.0, 0.0}};
+  std::unordered_map<GroupId, GroupInfo> groups QQ_GUARDED_BY(mutex);
+  GroupId next_group QQ_GUARDED_BY(mutex) = 1;
   /// Dispatched-but-not-yet-claimed tasks, coordinator-claimable; a task is
   /// executed by whichever side (pool worker or waiting coordinator) claims
   /// it first. Stale entries (already claimed) are skipped on pop.
-  std::deque<std::size_t> dispatched;
-  std::array<int, 2> inflight{0, 0};
-  std::size_t unfinished = 0;
-  std::exception_ptr first_error;
+  std::deque<std::size_t> dispatched QQ_GUARDED_BY(mutex);
+  std::array<int, 2> inflight QQ_GUARDED_BY(mutex) = {{0, 0}};
+  std::size_t unfinished QQ_GUARDED_BY(mutex) = 0;
+  std::exception_ptr first_error QQ_GUARDED_BY(mutex);
   // Cumulative counters (EngineStats).
-  std::array<double, 2> busy{0.0, 0.0};
-  double queue_wait = 0.0;
-  std::array<std::size_t, 2> task_count{0, 0};
-  std::size_t completed = 0;
-  std::size_t cancelled = 0;
+  std::array<double, 2> busy QQ_GUARDED_BY(mutex) = {{0.0, 0.0}};
+  double queue_wait QQ_GUARDED_BY(mutex) = 0.0;
+  std::array<std::size_t, 2> task_count QQ_GUARDED_BY(mutex) = {{0, 0}};
+  std::size_t completed QQ_GUARDED_BY(mutex) = 0;
+  std::size_t cancelled QQ_GUARDED_BY(mutex) = 0;
 };
 
 WorkflowEngine::WorkflowEngine(const EngineOptions& options)
@@ -393,7 +402,7 @@ ClassId WorkflowEngine::add_class(FairClassConfig config) {
   if (!(config.weight > 0.0)) {
     throw std::invalid_argument("WorkflowEngine::add_class: weight must be > 0");
   }
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   const ClassId id = static_cast<ClassId>(impl_->classes.size());
   impl_->classes.emplace_back();
   Impl::ClassInfo& cls = impl_->classes.back();
@@ -405,7 +414,7 @@ ClassId WorkflowEngine::add_class(FairClassConfig config) {
 }
 
 std::vector<FairClassStats> WorkflowEngine::class_stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   std::vector<FairClassStats> out;
   out.reserve(impl_->classes.size());
   for (std::size_t i = 0; i < impl_->classes.size(); ++i) {
@@ -426,7 +435,7 @@ std::vector<FairClassStats> WorkflowEngine::class_stats() const {
 }
 
 GroupId WorkflowEngine::open_group() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   const GroupId id = impl_->next_group++;
   impl_->groups.emplace(id, Impl::GroupInfo{});
   return id;
@@ -438,7 +447,7 @@ std::size_t WorkflowEngine::cancel_group(GroupId group) {
   const std::exception_ptr err = std::make_exception_ptr(
       util::CancelledError(util::StopReason::kCancelled));
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     auto it = impl_->groups.find(group);
     if (it == impl_->groups.end()) return 0;
     it->second.cancelled = true;
@@ -455,13 +464,13 @@ std::size_t WorkflowEngine::cancel_group(GroupId group) {
 }
 
 bool WorkflowEngine::group_cancelled(GroupId group) const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   const auto it = impl_->groups.find(group);
   return it != impl_->groups.end() && it->second.cancelled;
 }
 
 void WorkflowEngine::close_group(GroupId group) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   impl_->groups.erase(group);
 }
 
@@ -469,7 +478,7 @@ bool WorkflowEngine::try_run_one() {
   Impl& st = *impl_;
   Impl::Node* mine = nullptr;
   {
-    std::lock_guard<std::mutex> lock(st.mutex);
+    util::MutexLock lock(st.mutex);
     while (!st.dispatched.empty()) {
       const std::size_t i = st.dispatched.front();
       st.dispatched.pop_front();
@@ -494,7 +503,7 @@ TaskHandle WorkflowEngine::submit(Task task,
   std::exception_ptr settle_err;
   std::size_t id = 0;
   {
-    std::unique_lock<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     id = impl_->nodes.size();
     for (const TaskHandle dep : deps) {
       if (dep.id >= id) {
@@ -561,7 +570,7 @@ TaskHandle WorkflowEngine::submit(Task task,
 }
 
 bool WorkflowEngine::finished(TaskHandle handle) const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   if (handle.id >= impl_->nodes.size()) {
     throw std::out_of_range("WorkflowEngine::finished: unknown handle");
   }
@@ -571,20 +580,22 @@ bool WorkflowEngine::finished(TaskHandle handle) const {
 
 void WorkflowEngine::wait(TaskHandle handle) {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     if (handle.id >= impl_->nodes.size()) {
       throw std::out_of_range("WorkflowEngine::wait: unknown handle");
     }
   }
   Impl& st = *impl_;
-  st.help_until(impl_, [&st, handle] {
+  // help_until evaluates `done` with st.mutex held; the annotation lets the
+  // analysis check the guarded reads inside the closure body.
+  st.help_until(impl_, [&st, handle]() QQ_REQUIRES(st.mutex) {
     const auto status = st.nodes[handle.id].status;
     return status == Impl::Status::kDone ||
            status == Impl::Status::kCancelled;
   });
   std::exception_ptr err;
   {
-    std::lock_guard<std::mutex> lock(st.mutex);
+    util::MutexLock lock(st.mutex);
     err = st.nodes[handle.id].error;
   }
   if (err) std::rethrow_exception(err);
@@ -592,10 +603,11 @@ void WorkflowEngine::wait(TaskHandle handle) {
 
 void WorkflowEngine::drain(std::exception_ptr* error_out) {
   Impl& st = *impl_;
-  st.help_until(impl_, [&st] { return st.unfinished == 0; });
+  st.help_until(impl_,
+                [&st]() QQ_REQUIRES(st.mutex) { return st.unfinished == 0; });
   std::exception_ptr err;
   {
-    std::lock_guard<std::mutex> lock(st.mutex);
+    util::MutexLock lock(st.mutex);
     err = std::exchange(st.first_error, nullptr);
   }
   if (error_out != nullptr) {
@@ -606,7 +618,7 @@ void WorkflowEngine::drain(std::exception_ptr* error_out) {
 }
 
 TaskTiming WorkflowEngine::timing(TaskHandle handle) const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   if (handle.id >= impl_->nodes.size()) {
     throw std::out_of_range("WorkflowEngine::timing: unknown handle");
   }
@@ -614,7 +626,7 @@ TaskTiming WorkflowEngine::timing(TaskHandle handle) const {
 }
 
 EngineStats WorkflowEngine::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::MutexLock lock(impl_->mutex);
   EngineStats out;
   out.busy_quantum_seconds = impl_->busy[0];
   out.busy_classical_seconds = impl_->busy[1];
@@ -656,7 +668,7 @@ BatchReport WorkflowEngine::run_batch(std::vector<Task> tasks,
   // Wait for exactly this batch; the cursor makes the repeated predicate
   // evaluation amortized O(n) over the whole wait.
   std::size_t cursor = 0;
-  st.help_until(impl_, [&st, &ids, &cursor] {
+  st.help_until(impl_, [&st, &ids, &cursor]() QQ_REQUIRES(st.mutex) {
     while (cursor < ids.size()) {
       const auto status = st.nodes[ids[cursor]].status;
       if (status != Impl::Status::kDone &&
@@ -673,7 +685,7 @@ BatchReport WorkflowEngine::run_batch(std::vector<Task> tasks,
   std::array<double, 2> busy{0.0, 0.0};
   std::array<std::size_t, 2> count{0, 0};
   {
-    std::lock_guard<std::mutex> lock(st.mutex);
+    util::MutexLock lock(st.mutex);
     report.timings.reserve(ids.size());
     for (std::size_t b = 0; b < ids.size(); ++b) {
       const Impl::Node& node = st.nodes[ids[b]];

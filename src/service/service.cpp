@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <stdexcept>
 #include <utility>
 
 #include "qaoa2/qaoa2.hpp"
 #include "solver/registry.hpp"
+#include "util/mutex.hpp"
 #include "util/table.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace qq::service {
 
@@ -30,14 +31,14 @@ struct RequestRecord {
   maxcut::CutResult direct_cut;  ///< written by the one direct task
   double admit_s = 0.0;          ///< engine clock at admission
 
-  mutable std::mutex mutex;
-  std::condition_variable cv;
-  sched::GroupId group = sched::kNoGroup;
+  mutable util::Mutex mutex;
+  util::CondVar cv;
+  sched::GroupId group QQ_GUARDED_BY(mutex) = sched::kNoGroup;
   /// Keepalive of a decomposed solve; dropped at finalize.
-  std::shared_ptr<qaoa2::StreamPipeline> pipeline;
-  RequestOutcome outcome;
+  std::shared_ptr<qaoa2::StreamPipeline> pipeline QQ_GUARDED_BY(mutex);
+  RequestOutcome outcome QQ_GUARDED_BY(mutex);
 
-  bool settled_locked() const {
+  bool settled_locked() const QQ_REQUIRES(mutex) {
     return outcome.status != RequestStatus::kPending;
   }
 };
@@ -93,7 +94,7 @@ RequestStatus RequestTicket::status() const {
   if (rec_ == nullptr) {
     throw std::logic_error("RequestTicket::status: empty ticket");
   }
-  std::lock_guard<std::mutex> lock(rec_->mutex);
+  util::MutexLock lock(rec_->mutex);
   return rec_->outcome.status;
 }
 
@@ -105,7 +106,7 @@ RequestOutcome RequestTicket::outcome() const {
   if (rec_ == nullptr) {
     throw std::logic_error("RequestTicket::outcome: empty ticket");
   }
-  std::lock_guard<std::mutex> lock(rec_->mutex);
+  util::MutexLock lock(rec_->mutex);
   if (!rec_->settled_locked()) {
     throw std::logic_error("RequestTicket::outcome: request still pending");
   }
@@ -166,12 +167,12 @@ SolveService::~SolveService() {
 RequestTicket SolveService::reject(std::shared_ptr<RequestRecord> rec,
                                    RejectReason reason) {
   {
-    std::lock_guard<std::mutex> lock(rec->mutex);
+    util::MutexLock lock(rec->mutex);
     rec->outcome.status = RequestStatus::kRejected;
     rec->outcome.reject_reason = reason;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++rejected_;
     if (rec->class_index != RequestRecord::kNoClass) {
       ++classes_[rec->class_index]->rejected;
@@ -230,31 +231,27 @@ RequestTicket SolveService::submit(ServiceRequest request) {
     return reject(std::move(rec), RejectReason::kDeadlineInfeasible);
   }
 
-  // Admission: bounded queues, typed rejection, never blocking.
+  // Admission: bounded queues, typed rejection, never blocking. The
+  // decision leaves the critical section as a local — reject() retakes
+  // mutex_, and rec->outcome is rec->mutex territory, not mutex_'s.
+  RejectReason admission = RejectReason::kNone;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++cls.submitted;
     if (!accepting_) {
-      // Unlock-order shuffle: reject() retakes mutex_, so leave the
-      // critical section first by falling through with a flag.
+      admission = RejectReason::kShuttingDown;
     } else if (in_flight_ < options_.max_in_flight_requests &&
                cls.in_flight < cls.config.max_in_flight) {
       rec->id = next_id_++;
       ++in_flight_;
       ++cls.in_flight;
       live_.push_back(rec);
-    }
-    if (rec->id == 0) {
-      const RejectReason reason = accepting_ ? RejectReason::kOverloaded
-                                             : RejectReason::kShuttingDown;
-      // Release mutex_ before reject() (which locks it again).
-      rec->outcome.reject_reason = reason;  // stashed; finalized below
+    } else {
+      admission = RejectReason::kOverloaded;
     }
   }
-  if (rec->id == 0) {
-    const RejectReason reason = rec->outcome.reject_reason;
-    rec->outcome.reject_reason = RejectReason::kNone;
-    return reject(std::move(rec), reason);
+  if (admission != RejectReason::kNone) {
+    return reject(std::move(rec), admission);
   }
 
   // Admitted. Arm the stop state and start the task graph. Settle
@@ -263,22 +260,26 @@ RequestTicket SolveService::submit(ServiceRequest request) {
   rec->admit_s = engine_->now();
   if (req.deadline_seconds) rec->context.set_deadline_after(*req.deadline_seconds);
   if (req.eval_budget) rec->context.arm_eval_budget(*req.eval_budget);
+  // The group id lives on as a local: the engine call stays outside
+  // rec->mutex (lock order: record mutex before engine mutex, and
+  // solve_async may settle synchronously through finalize).
+  const sched::GroupId group = engine_->open_group();
   {
-    std::lock_guard<std::mutex> lock(rec->mutex);
-    rec->group = engine_->open_group();
+    util::MutexLock lock(rec->mutex);
+    rec->group = group;
   }
 
   if (decomposed) {
     qaoa2::SolveTags tags;
     tags.fair_class = rec->engine_class;
-    tags.group = rec->group;
+    tags.group = group;
     tags.context = &rec->context;
     auto pipeline = rec->driver->solve_async(
         *engine_, rec->request.graph, tags,
         [this, rec](qaoa2::Qaoa2Result result, std::exception_ptr err) {
           finalize(rec, err, std::move(result.cut), result.engine_tasks);
         });
-    std::lock_guard<std::mutex> lock(rec->mutex);
+    util::MutexLock lock(rec->mutex);
     // The keepalive matters only while pending; a request that already
     // settled (fast solve or instant cancel) must not re-create the
     // rec -> pipeline -> done -> rec cycle finalize just broke.
@@ -287,7 +288,7 @@ RequestTicket SolveService::submit(ServiceRequest request) {
     sched::Task task;
     task.kind = rec->direct->resource_kind();
     task.fair_class = rec->engine_class;
-    task.group = rec->group;
+    task.group = group;
     task.work = [rec] {
       rec->context.throw_if_stopped();
       solver::SolveRequest sreq;
@@ -311,8 +312,13 @@ void SolveService::finalize(const std::shared_ptr<RequestRecord>& rec,
                             std::exception_ptr err, maxcut::CutResult cut,
                             int engine_tasks) {
   RequestStatus status;
+  // Locals carried out of the record's critical section: the class-table
+  // update below runs under mutex_ (never both locks at once), and the
+  // engine call between the two runs under neither.
+  double latency = 0.0;
+  sched::GroupId group = sched::kNoGroup;
   {
-    std::lock_guard<std::mutex> lock(rec->mutex);
+    util::MutexLock lock(rec->mutex);
     if (rec->settled_locked()) return;
     RequestOutcome& out = rec->outcome;
     if (err == nullptr) {
@@ -342,6 +348,8 @@ void SolveService::finalize(const std::shared_ptr<RequestRecord>& rec,
     out.status = status;
     out.engine_tasks = engine_tasks;
     out.latency_seconds = engine_->now() - rec->admit_s;
+    latency = out.latency_seconds;
+    group = rec->group;
     rec->pipeline.reset();
   }
   rec->cv.notify_all();
@@ -352,10 +360,10 @@ void SolveService::finalize(const std::shared_ptr<RequestRecord>& rec,
   // tables until then. Everything service-owned is finished BEFORE the
   // in_flight_ decrement below; nothing after the locked block may touch
   // `this`.
-  engine_->close_group(rec->group);
+  engine_->close_group(group);
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ClassState& cls = *classes_[rec->class_index];
     --in_flight_;
     --cls.in_flight;
@@ -365,9 +373,9 @@ void SolveService::finalize(const std::shared_ptr<RequestRecord>& rec,
         ++cls.completed;
         if (options_.latency_window > 0) {
           if (cls.latencies.size() < options_.latency_window) {
-            cls.latencies.push_back(rec->outcome.latency_seconds);
+            cls.latencies.push_back(latency);
           } else {
-            cls.latencies[cls.latency_pos] = rec->outcome.latency_seconds;
+            cls.latencies[cls.latency_pos] = latency;
             cls.latency_pos = (cls.latency_pos + 1) % options_.latency_window;
           }
         }
@@ -391,7 +399,7 @@ bool SolveService::cancel(const RequestTicket& ticket) {
   const std::shared_ptr<RequestRecord>& rec = ticket.rec_;
   sched::GroupId group;
   {
-    std::lock_guard<std::mutex> lock(rec->mutex);
+    util::MutexLock lock(rec->mutex);
     if (rec->settled_locked()) return false;
     group = rec->group;
   }
@@ -410,16 +418,17 @@ void SolveService::wait(const RequestTicket& ticket) {
   const std::shared_ptr<RequestRecord>& rec = ticket.rec_;
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(rec->mutex);
+      util::MutexLock lock(rec->mutex);
       if (rec->settled_locked()) return;
     }
     // Donate this thread to the engine; nap only when nothing is
     // claimable (everything dispatched is already running elsewhere).
+    // Predicate-free wait: the top of the loop re-checks settled under
+    // the lock, so a missed 1 ms nap costs latency, never correctness.
     if (!engine_->try_run_one()) {
-      std::unique_lock<std::mutex> lock(rec->mutex);
-      if (rec->cv.wait_for(lock, std::chrono::milliseconds(1),
-                           [&rec] { return rec->settled_locked(); })) {
-        return;
+      util::MutexLock lock(rec->mutex);
+      if (!rec->settled_locked()) {
+        rec->cv.wait_for(lock, std::chrono::milliseconds(1));
       }
     }
   }
@@ -427,7 +436,7 @@ void SolveService::wait(const RequestTicket& ticket) {
 
 std::vector<std::shared_ptr<RequestRecord>> SolveService::live_snapshot()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return live_;
 }
 
@@ -440,7 +449,7 @@ void SolveService::drain() {
   // to read as done.
   for (;;) {
     for (const auto& rec : live_snapshot()) wait(RequestTicket(rec));
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (in_flight_ == 0) return;
     drained_cv_.wait_for(lock, std::chrono::milliseconds(1));
   }
@@ -448,7 +457,7 @@ void SolveService::drain() {
 
 void SolveService::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     accepting_ = false;
   }
   drain();
@@ -456,7 +465,7 @@ void SolveService::shutdown() {
 
 void SolveService::shutdown_now() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     accepting_ = false;
   }
   for (const auto& rec : live_snapshot()) cancel(RequestTicket(rec));
@@ -466,7 +475,7 @@ void SolveService::shutdown_now() {
 ServiceStats SolveService::stats() const {
   ServiceStats out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     out.in_flight = in_flight_;
     out.completed = completed_;
     out.cancelled = cancelled_;

@@ -22,11 +22,9 @@
 // queuing unboundedly, and shutdown drains gracefully (or cancels
 // everything in flight first: shutdown_now).
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,6 +34,8 @@
 #include "qgraph/partition.hpp"
 #include "sched/engine.hpp"
 #include "util/cancellation.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace qq::service {
 
@@ -239,20 +239,28 @@ class SolveService {
 
   ServiceOptions options_;
   std::unique_ptr<sched::WorkflowEngine> engine_;
+  /// The vector and each ClassState's config/engine_class are immutable
+  /// after construction; the mutable per-class counters inside are guarded
+  /// by mutex_ (inexpressible per-field through the unique_ptr — enforced
+  /// by review and the TSan leg, not the analysis).
   std::vector<std::unique_ptr<ClassState>> classes_;
 
-  mutable std::mutex mutex_;
+  /// Lock order: mutex_ (or a record's mutex) before any engine lock,
+  /// never the reverse — finalize/stats release mutex_ before touching the
+  /// engine.
+  mutable util::Mutex mutex_;
   /// Signalled when in_flight_ reaches zero — the quiescence point drain()
   /// (and so the destructor) waits for; see finalize().
-  std::condition_variable drained_cv_;
-  bool accepting_ = true;
-  std::uint64_t next_id_ = 1;
-  std::size_t in_flight_ = 0;
-  std::size_t completed_ = 0;
-  std::size_t cancelled_ = 0;
-  std::size_t failed_ = 0;
-  std::size_t rejected_ = 0;
-  std::vector<std::shared_ptr<detail::RequestRecord>> live_;
+  util::CondVar drained_cv_;
+  bool accepting_ QQ_GUARDED_BY(mutex_) = true;
+  std::uint64_t next_id_ QQ_GUARDED_BY(mutex_) = 1;
+  std::size_t in_flight_ QQ_GUARDED_BY(mutex_) = 0;
+  std::size_t completed_ QQ_GUARDED_BY(mutex_) = 0;
+  std::size_t cancelled_ QQ_GUARDED_BY(mutex_) = 0;
+  std::size_t failed_ QQ_GUARDED_BY(mutex_) = 0;
+  std::size_t rejected_ QQ_GUARDED_BY(mutex_) = 0;
+  std::vector<std::shared_ptr<detail::RequestRecord>> live_
+      QQ_GUARDED_BY(mutex_);
 };
 
 }  // namespace qq::service

@@ -4,13 +4,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace qq::util {
 
 namespace {
 std::atomic<int> g_level{-1};
-std::mutex g_mutex;
+/// Serializes stderr writes so concurrent log lines never interleave. The
+/// guarded resource is the stream itself, which no annotation can name.
+Mutex g_mutex;
 
 int level_from_env() {
   const char* env = std::getenv("QQ_LOG");
@@ -51,7 +54,7 @@ bool log_enabled(LogLevel level) {
 }
 
 void log_message(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[qq:%s] %s\n", level_name(level), msg.c_str());
 }
 

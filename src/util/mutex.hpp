@@ -1,0 +1,105 @@
+#pragma once
+// Annotated capability wrappers over the standard synchronization
+// primitives — the repo's ONLY sanctioned mutex types (tools/qq_lint
+// rejects raw std::mutex / std::lock_guard members anywhere else).
+//
+//   util::Mutex      std::mutex as a Clang thread-safety CAPABILITY
+//   util::MutexLock  RAII scoped acquire with manual unlock()/lock() for
+//                    help-loops that release around borrowed work
+//   util::CondVar    std::condition_variable bound to MutexLock
+//
+// Under Clang, -Wthread-safety checks every QQ_GUARDED_BY field access and
+// QQ_REQUIRES call against the locks actually held (CI escalates to
+// -Werror=thread-safety); under other compilers the annotations vanish and
+// these wrappers compile to the exact std:: operations they wrap.
+//
+// CondVar deliberately offers only predicate-FREE waits: a predicate lambda
+// is a separate function to the analysis, so guarded reads inside it would
+// need their own annotations at every call site. Write the standard loop
+//   while (!condition) cv.wait(lock);
+// instead — the condition then sits inside the annotated caller where the
+// analysis can see the lock is held. (qq-lint: allow(raw-mutex) — this
+// header IS the wrapper.)
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace qq::util {
+
+class CondVar;
+class MutexLock;
+
+/// std::mutex as an annotated capability. Prefer MutexLock over manual
+/// lock()/unlock(); the manual API exists for the rare non-scoped pattern
+/// and for the negative-compile tests.
+class QQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QQ_ACQUIRE() { mu_.lock(); }
+  void unlock() QQ_RELEASE() { mu_.unlock(); }
+  bool try_lock() QQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a Mutex. Equivalent to std::unique_lock: the
+/// destructor releases if (and only if) the lock is currently held, and
+/// unlock()/lock() allow a help-loop to release the mutex around work it
+/// borrowed from a queue (see WorkflowEngine::Impl::help_until).
+class QQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QQ_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() QQ_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Re-acquire after unlock(). Undefined (as for std::unique_lock) when
+  /// already held — the analysis rejects that statically under Clang.
+  void lock() QQ_ACQUIRE() { lock_.lock(); }
+  void unlock() QQ_RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to util::Mutex via MutexLock. Only
+/// predicate-free waits are offered (see the header comment): callers write
+/// explicit `while (!cond) cv.wait(lock);` loops, keeping every guarded
+/// read inside the annotated function.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, blocks, re-acquires before returning. The
+  /// lock is held on entry and on exit, which is exactly what the analysis
+  /// assumes — hence no annotation is needed.
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Timed wait; returns false on timeout. Callers re-check their
+  /// condition either way (spurious wakeups).
+  template <typename Rep, typename Period>
+  bool wait_for(MutexLock& lock,
+                const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur) == std::cv_status::no_timeout;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qq::util

@@ -1,0 +1,79 @@
+#pragma once
+// Clang Thread Safety Analysis attribute shims (no-ops on other compilers).
+//
+// The repo's worst bugs have been concurrency bugs found only dynamically
+// (the service-teardown use-after-free caught by the storm fuzzer + ASan,
+// schedule-dependent races TSan may or may not reach). These macros let the
+// locking discipline be checked at COMPILE time: every field a mutex guards
+// carries QQ_GUARDED_BY, every "must be called with the lock held" helper
+// carries QQ_REQUIRES, and a Clang build with -Wthread-safety (escalated to
+// -Werror=thread-safety in CI) rejects any access that violates the
+// contract. See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html and
+// DESIGN.md "Static analysis & locking discipline".
+//
+// Use util::Mutex / util::MutexLock / util::CondVar (util/mutex.hpp) as the
+// annotated capability types; raw std::mutex members are rejected by
+// tools/qq_lint.
+
+#if defined(__clang__)
+#define QQ_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define QQ_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op: GCC/MSVC have no analysis
+#endif
+
+/// Declares a type to be a capability (lockable). Applied to util::Mutex.
+#define QQ_CAPABILITY(x) QQ_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires a capability on construction and
+/// releases it on destruction. Applied to util::MutexLock.
+#define QQ_SCOPED_CAPABILITY QQ_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field annotation: reads/writes require holding `x`.
+#define QQ_GUARDED_BY(x) QQ_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer-field annotation: the pointed-to data requires holding `x` (the
+/// pointer itself is unguarded).
+#define QQ_PT_GUARDED_BY(x) QQ_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function annotation: the caller must hold the listed capabilities. This
+/// is how implicit "called under the lock" helpers become explicit,
+/// compiler-checked contracts (the engine's *_locked helpers, the service
+/// record's settled_locked()).
+#define QQ_REQUIRES(...) \
+  QQ_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the listed capabilities (held on return).
+#define QQ_ACQUIRE(...) \
+  QQ_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the listed capabilities.
+#define QQ_RELEASE(...) \
+  QQ_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability iff the return value equals
+/// the first argument.
+#define QQ_TRY_ACQUIRE(...) \
+  QQ_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the listed capabilities
+/// (the function acquires them itself; guards against self-deadlock).
+#define QQ_EXCLUDES(...) \
+  QQ_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations (checked under -Wthread-safety-beta only;
+/// kept for documentation value regardless).
+#define QQ_ACQUIRED_BEFORE(...) \
+  QQ_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define QQ_ACQUIRED_AFTER(...) \
+  QQ_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function annotation: returns a reference to the capability guarding it.
+#define QQ_RETURN_CAPABILITY(x) \
+  QQ_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables analysis of the function BODY (callers are still
+/// checked against its QQ_REQUIRES). Use only where the analysis cannot
+/// express a true invariant — e.g. an aliasing fact like "group.pool_ ==
+/// this" — and say why at the use site.
+#define QQ_NO_THREAD_SAFETY_ANALYSIS \
+  QQ_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

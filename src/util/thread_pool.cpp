@@ -33,7 +33,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -59,10 +59,10 @@ void ThreadPool::worker_loop(std::size_t /*index*/) {
     ChunkTask chunk{nullptr, nullptr};
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] {
-        return stop_ || !chunk_queue_.empty() || !queue_.empty();
-      });
+      MutexLock lock(mutex_);
+      while (!stop_ && chunk_queue_.empty() && queue_.empty()) {
+        cv_.wait(lock);
+      }
       // Chunk tasks first: they are sub-tasks of already-running work, so
       // draining them bounds the latency of in-flight parallel regions.
       if (!chunk_queue_.empty()) {
@@ -83,6 +83,11 @@ void ThreadPool::worker_loop(std::size_t /*index*/) {
   }
 }
 
+bool ThreadPool::settle_chunk_locked(TaskGroup& group, std::exception_ptr err) {
+  if (err && !group.error_) group.error_ = err;
+  return --group.pending_ == 0;
+}
+
 void ThreadPool::run_chunk_task(ChunkTask task) {
   g_chunk_tasks_executed.fetch_add(1, std::memory_order_relaxed);
   std::exception_ptr err;
@@ -93,10 +98,8 @@ void ThreadPool::run_chunk_task(ChunkTask task) {
   }
   bool group_done = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    TaskGroup& group = *task.group;
-    if (err && !group.error_) group.error_ = err;
-    group_done = --group.pending_ == 0;
+    MutexLock lock(mutex_);
+    group_done = settle_chunk_locked(*task.group, err);
   }
   // Wake the group's waiter (it sleeps on the shared pool cv when the chunk
   // queue is empty and its tasks are running on other threads).
@@ -106,7 +109,7 @@ void ThreadPool::run_chunk_task(ChunkTask task) {
 bool ThreadPool::try_help_chunk() {
   ChunkTask chunk{nullptr, nullptr};
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (chunk_queue_.empty()) return false;
     chunk = std::move(chunk_queue_.front());
     chunk_queue_.pop_front();
@@ -119,7 +122,7 @@ bool ThreadPool::try_help_one() {
   ChunkTask chunk{nullptr, nullptr};
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!chunk_queue_.empty()) {
       chunk = std::move(chunk_queue_.front());
       chunk_queue_.pop_front();
@@ -142,7 +145,7 @@ ThreadPool::TaskGroup::~TaskGroup() { drain(/*rethrow=*/false); }
 
 void ThreadPool::TaskGroup::run(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(pool_->mutex_);
+    MutexLock lock(pool_->mutex_);
     pool_->chunk_queue_.push_back(ChunkTask{std::move(fn), this});
     ++pending_;
   }
@@ -152,27 +155,27 @@ void ThreadPool::TaskGroup::run(std::function<void()> fn) {
 void ThreadPool::TaskGroup::wait() { drain(/*rethrow=*/true); }
 
 void ThreadPool::TaskGroup::drain(bool rethrow) {
-  std::unique_lock<std::mutex> lock(pool_->mutex_);
-  while (pending_ != 0) {
-    if (!pool_->chunk_queue_.empty()) {
-      ChunkTask task = std::move(pool_->chunk_queue_.front());
-      pool_->chunk_queue_.pop_front();
-      lock.unlock();
-      // Help with whatever chunk is next — ours or another group's. Chunk
-      // bodies are bounded (no blocking), so this always makes progress and
-      // cannot deadlock; helping another group's chunk just means finishing
-      // a sibling parallel region first.
-      pool_->run_chunk_task(std::move(task));
-      lock.lock();
-      continue;
+  std::exception_ptr err;
+  {
+    MutexLock lock(pool_->mutex_);
+    while (pending_ != 0) {
+      if (!pool_->chunk_queue_.empty()) {
+        ChunkTask task = std::move(pool_->chunk_queue_.front());
+        pool_->chunk_queue_.pop_front();
+        lock.unlock();
+        // Help with whatever chunk is next — ours or another group's. Chunk
+        // bodies are bounded (no blocking), so this always makes progress
+        // and cannot deadlock; helping another group's chunk just means
+        // finishing a sibling parallel region first.
+        pool_->run_chunk_task(std::move(task));
+        lock.lock();
+        continue;
+      }
+      pool_->cv_.wait(lock);
     }
-    pool_->cv_.wait(lock, [this] {
-      return pending_ == 0 || !pool_->chunk_queue_.empty();
-    });
+    err = error_;
+    error_ = nullptr;
   }
-  std::exception_ptr err = error_;
-  error_ = nullptr;
-  lock.unlock();
   if (rethrow && err) std::rethrow_exception(err);
 }
 

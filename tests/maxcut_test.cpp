@@ -133,6 +133,25 @@ TEST(Exact, HandlesNegativeWeights) {
   EXPECT_DOUBLE_EQ(r.value, 3.0);  // cut only (1,2)
 }
 
+TEST(Exact, AllNegativeWeightsAcrossChunksKeepZeroCutOptimal) {
+  // 15 nodes -> 2^14 Gray codes -> several parallel chunks at the default
+  // grain, so the cross-chunk merge actually runs. Every edge is negative:
+  // every chunk's local best is <= 0 and the global optimum is the empty
+  // cut (value 0). The merge is seeded from -infinity — a finite sentinel
+  // seed would only be correct here by the accident that one chunk
+  // enumerates the empty cut, which is exactly the dependence the fix
+  // removes.
+  Graph g(15);
+  for (NodeId u = 0; u < 15; ++u) {
+    for (NodeId v = u + 1; v < 15; ++v) {
+      g.add_edge(u, v, -1.0 - 0.01 * static_cast<double>(u + v));
+    }
+  }
+  const CutResult r = solve_exact(g);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_DOUBLE_EQ(cut_value(g, r.assignment), r.value);
+}
+
 // ------------------------------------------------------------ baselines ----
 
 TEST(Baselines, RandomPartitioningIsValidAndBounded) {

@@ -1,0 +1,30 @@
+// Negative-compile CONTROL: correct locking discipline. Must compile under
+// every compiler — on Clang it proves the harness's flags don't reject
+// well-annotated code; elsewhere it proves the annotation macros expand to
+// nothing. See CMakeLists.txt in this directory.
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Counter {
+  qq::util::Mutex mu;
+  int value QQ_GUARDED_BY(mu) = 0;
+
+  void bump_locked() QQ_REQUIRES(mu) { ++value; }
+
+  void bump() QQ_EXCLUDES(mu) {
+    qq::util::MutexLock lock(mu);
+    bump_locked();
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  qq::util::MutexLock lock(c.mu);
+  return c.value == 1 ? 0 : 1;
+}

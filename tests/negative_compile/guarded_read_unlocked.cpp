@@ -1,0 +1,22 @@
+// Negative-compile VIOLATION: reading a QQ_GUARDED_BY field without holding
+// its mutex. Clang's -Werror=thread-safety must reject this translation
+// unit; if it ever compiles, the analysis gate has silently gone dark (shim
+// macros broken, flags dropped, or the wrapper lost its capability
+// annotations). See CMakeLists.txt in this directory.
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Counter {
+  qq::util::Mutex mu;
+  int value QQ_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.value;  // unguarded read: must not compile under the analysis
+}

@@ -1,0 +1,24 @@
+// Negative-compile VIOLATION: calling a QQ_REQUIRES(mu) function without
+// holding mu. Clang's -Werror=thread-safety must reject this translation
+// unit — it is the contract every *_locked helper in sched/engine.cpp and
+// service/service.cpp relies on. See CMakeLists.txt in this directory.
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Counter {
+  qq::util::Mutex mu;
+  int value QQ_GUARDED_BY(mu) = 0;
+
+  void bump_locked() QQ_REQUIRES(mu) { ++value; }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_locked();  // lock not held: must not compile under the analysis
+  return 0;
+}

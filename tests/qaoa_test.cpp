@@ -22,6 +22,7 @@ namespace qq::qaoa {
 namespace {
 
 using graph::Graph;
+using graph::NodeId;
 
 // ------------------------------------------------------------ cut table ----
 
@@ -418,6 +419,26 @@ TEST(Rqaoa, SmallGraphSolvedDirectly) {
   const RqaoaResult r = solve_rqaoa(g, opts);
   EXPECT_EQ(r.rounds, 0);
   EXPECT_DOUBLE_EQ(r.cut.value, 4.0);
+}
+
+TEST(Rqaoa, AllNegativeWeightsSettleOnZeroCut) {
+  // All-negative weights: every cut has value <= 0 and the optimum cuts
+  // nothing. The per-round elimination tracks the best |correlation| with
+  // a -infinity seed (the finite `-1.0` sentinel family), so the first
+  // edge always wins on its own merits; the exact finish plus constraint
+  // propagation must then land on the empty cut.
+  Graph g(8);
+  for (NodeId u = 0; u < 8; ++u) {
+    g.add_edge(u, (u + 1) % 8, -1.5);
+  }
+  RqaoaOptions opts;
+  opts.qaoa.layers = 1;
+  opts.qaoa.max_iterations = 40;
+  opts.cutoff = 4;
+  const RqaoaResult r = solve_rqaoa(g, opts);
+  EXPECT_GT(r.rounds, 0);
+  EXPECT_NEAR(maxcut::cut_value(g, r.cut.assignment), r.cut.value, 1e-9);
+  EXPECT_DOUBLE_EQ(r.cut.value, 0.0);
 }
 
 TEST(Rqaoa, CutoffValidation) {

@@ -7,7 +7,6 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -15,6 +14,7 @@
 
 #include "sched/des.hpp"
 #include "sched/engine.hpp"
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qq::sched {
@@ -465,10 +465,10 @@ TEST(Engine, EmptyBatchIsFine) {
 
 TEST(Engine, SubmitChainRunsInDependencyOrder) {
   WorkflowEngine engine(EngineOptions{2, 2});
-  std::mutex mutex;
+  util::Mutex mutex;
   std::vector<int> order;
   auto record = [&](int id) {
-    std::lock_guard<std::mutex> lock(mutex);
+    util::MutexLock lock(mutex);
     order.push_back(id);
   };
   const TaskHandle a =
@@ -772,7 +772,7 @@ TEST(Engine, FairShareWeightedDispatchUnderContention) {
                        std::this_thread::sleep_for(
                            std::chrono::milliseconds(100));
                      }});
-  std::mutex order_mutex;
+  util::Mutex order_mutex;
   std::vector<ClassId> order;
   auto task_of = [&](ClassId cls) {
     Task t;
@@ -780,7 +780,7 @@ TEST(Engine, FairShareWeightedDispatchUnderContention) {
     t.fair_class = cls;
     t.work = [&order_mutex, &order, cls] {
       std::this_thread::sleep_for(std::chrono::microseconds(300));
-      std::lock_guard<std::mutex> lock(order_mutex);
+      util::MutexLock lock(order_mutex);
       order.push_back(cls);
     };
     return t;
@@ -816,12 +816,12 @@ TEST(Engine, DefaultClassAloneKeepsFifoOrder) {
                        std::this_thread::sleep_for(
                            std::chrono::milliseconds(50));
                      }});
-  std::mutex order_mutex;
+  util::Mutex order_mutex;
   std::vector<int> order;
   for (int i = 0; i < 8; ++i) {
     engine.submit({ResourceKind::kClassical,
                    [&order_mutex, &order, i] {
-                     std::lock_guard<std::mutex> lock(order_mutex);
+                     util::MutexLock lock(order_mutex);
                      order.push_back(i);
                    }},
                   {root});

@@ -9,7 +9,6 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
