@@ -1,5 +1,6 @@
 #include "qaoa/cost_table.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "qsim/statevector.hpp"
@@ -7,7 +8,16 @@
 
 namespace qq::qaoa {
 
+namespace {
+std::atomic<std::uint64_t> g_cut_table_builds{0};
+}  // namespace
+
+std::uint64_t cut_table_builds() noexcept {
+  return g_cut_table_builds.load(std::memory_order_relaxed);
+}
+
 std::vector<double> build_cut_table(const graph::Graph& g) {
+  g_cut_table_builds.fetch_add(1, std::memory_order_relaxed);
   const int n = g.num_nodes();
   if (n > sim::kMaxQubits) {
     throw std::invalid_argument("build_cut_table: graph exceeds qubit cap");

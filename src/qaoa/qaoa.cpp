@@ -2,17 +2,73 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 
 #include "optim/cobyla.hpp"
 #include "optim/nelder_mead.hpp"
 #include "qaoa/cost_table.hpp"
+#include "qsim/batched.hpp"
 #include "qsim/measure.hpp"
+#include "util/mutex.hpp"
 
 namespace qq::qaoa {
 
 int paper_iteration_schedule(int layers) {
   return std::clamp(30 + 14 * (layers - 3), 30, 100);
+}
+
+std::vector<double> restart_initial_parameters(const QaoaOptions& options,
+                                               int restart) {
+  if (restart < 0) {
+    throw std::invalid_argument(
+        "restart_initial_parameters: restart must be >= 0");
+  }
+  const int p = options.layers;
+  if (restart == 0) {
+    // Restart 0 is the single-run start, so restarts=1 reproduces the
+    // pre-restart optimizer trajectory bit for bit.
+    if (!options.initial_parameters.empty()) {
+      if (options.initial_parameters.size() !=
+          static_cast<std::size_t>(2 * p)) {
+        throw std::invalid_argument(
+            "QaoaOptions::initial_parameters must have size 2 * layers");
+      }
+      return options.initial_parameters;
+    }
+    if (options.init == InitKind::kLinearRamp) {
+      circuit::QaoaAngles angles;
+      angles.gammas.resize(static_cast<std::size_t>(p));
+      angles.betas.resize(static_cast<std::size_t>(p));
+      // Adiabatic-style ramp: the cost angle grows with the layer index
+      // while the mixer angle decays — the standard structure-aware start.
+      for (int l = 0; l < p; ++l) {
+        const double t =
+            (static_cast<double>(l) + 0.5) / static_cast<double>(p);
+        angles.gammas[static_cast<std::size_t>(l)] = 0.7 * t;
+        angles.betas[static_cast<std::size_t>(l)] = 0.7 * (1.0 - t);
+      }
+      return circuit::pack_angles(angles);
+    }
+  }
+  // Restart r >= 1 (and restart 0 of kRandom, whose salt term vanishes):
+  // small random angles from a (seed, restart)-keyed stream, so every
+  // restart is individually replayable.
+  util::Rng rng((options.seed +
+                 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(restart)) ^
+                0xa5a5a5a5ULL);
+  circuit::QaoaAngles angles;
+  angles.gammas.resize(static_cast<std::size_t>(p));
+  angles.betas.resize(static_cast<std::size_t>(p));
+  for (int l = 0; l < p; ++l) {
+    angles.gammas[static_cast<std::size_t>(l)] = util::uniform(rng, 0.0, 0.6);
+    angles.betas[static_cast<std::size_t>(l)] = util::uniform(rng, 0.0, 0.6);
+  }
+  return circuit::pack_angles(angles);
 }
 
 QaoaSolver::QaoaSolver(const graph::Graph& g)
@@ -77,38 +133,6 @@ double QaoaSolver::sampled_expectation(const circuit::QaoaAngles& angles,
   return sum / static_cast<double>(shots);
 }
 
-std::vector<double> QaoaSolver::initial_parameters(
-    const QaoaOptions& options) const {
-  const int p = options.layers;
-  if (!options.initial_parameters.empty()) {
-    if (options.initial_parameters.size() !=
-        static_cast<std::size_t>(2 * p)) {
-      throw std::invalid_argument(
-          "QaoaOptions::initial_parameters must have size 2 * layers");
-    }
-    return options.initial_parameters;
-  }
-  circuit::QaoaAngles angles;
-  angles.gammas.resize(static_cast<std::size_t>(p));
-  angles.betas.resize(static_cast<std::size_t>(p));
-  if (options.init == InitKind::kLinearRamp) {
-    // Adiabatic-style ramp: the cost angle grows with the layer index while
-    // the mixer angle decays — the standard structure-aware start.
-    for (int l = 0; l < p; ++l) {
-      const double t = (static_cast<double>(l) + 0.5) / static_cast<double>(p);
-      angles.gammas[static_cast<std::size_t>(l)] = 0.7 * t;
-      angles.betas[static_cast<std::size_t>(l)] = 0.7 * (1.0 - t);
-    }
-  } else {
-    util::Rng rng(options.seed ^ 0xa5a5a5a5ULL);
-    for (int l = 0; l < p; ++l) {
-      angles.gammas[static_cast<std::size_t>(l)] = util::uniform(rng, 0.0, 0.6);
-      angles.betas[static_cast<std::size_t>(l)] = util::uniform(rng, 0.0, 0.6);
-    }
-  }
-  return circuit::pack_angles(angles);
-}
-
 QaoaResult QaoaSolver::optimize(const QaoaOptions& options) const {
   if (options.layers < 1) {
     throw std::invalid_argument("QaoaSolver::optimize: layers must be >= 1");
@@ -116,6 +140,39 @@ QaoaResult QaoaSolver::optimize(const QaoaOptions& options) const {
   if (options.top_k < 1) {
     throw std::invalid_argument("QaoaSolver::optimize: top_k must be >= 1");
   }
+  if (options.restarts < 1) {
+    throw std::invalid_argument("QaoaSolver::optimize: restarts must be >= 1");
+  }
+  if (options.restarts == 1) return optimize_single(options);
+  if (options.shot_based_objective ||
+      graph_->num_nodes() < options.lockstep_min_qubits ||
+      std::getenv("QQ_QAOA_SEQUENTIAL_RESTARTS") != nullptr) {
+    // Sequential replay of the exact per-restart starts. Three routes lead
+    // here: shot-based objectives (each restart owns a live RNG stream
+    // whose draws depend on the evaluation count, which lockstep batching
+    // would interleave); states below options.lockstep_min_qubits (the
+    // barrier handoff costs more than batching saves); and the
+    // QQ_QAOA_SEQUENTIAL_RESTARTS env var, which forces this fallback for
+    // any exact objective so benchmarks can A/B the batched lockstep path
+    // against the bit-identical sequential replay and lockstep issues can
+    // be bisected in the field without a rebuild.
+    QaoaResult best;
+    int total_evaluations = 0;
+    for (int r = 0; r < options.restarts; ++r) {
+      QaoaOptions opts = options;
+      opts.restarts = 1;
+      opts.initial_parameters = restart_initial_parameters(options, r);
+      QaoaResult res = optimize_single(opts);
+      total_evaluations += res.evaluations;
+      if (r == 0 || res.expectation > best.expectation) best = std::move(res);
+    }
+    best.evaluations = total_evaluations;
+    return best;
+  }
+  return optimize_batched(options);
+}
+
+QaoaResult QaoaSolver::optimize_single(const QaoaOptions& options) const {
   const int budget = options.max_iterations > 0
                          ? options.max_iterations
                          : paper_iteration_schedule(options.layers);
@@ -135,7 +192,7 @@ QaoaResult QaoaSolver::optimize(const QaoaOptions& options) const {
                : -expectation(angles, workspace);
   };
 
-  const std::vector<double> x0 = initial_parameters(options);
+  const std::vector<double> x0 = restart_initial_parameters(options, 0);
   // optim is dependency-free, so the request context enters as a plain
   // stop predicate; null context keeps the hook empty (bit-for-bit
   // identical optimization to the pre-context code).
@@ -164,8 +221,15 @@ QaoaResult QaoaSolver::optimize(const QaoaOptions& options) const {
   result.parameters = opt.x;
   result.evaluations = opt.evaluations;
   result.layers = options.layers;
+  extract_result(options, workspace, shot_rng, result);
+  return result;
+}
 
-  const circuit::QaoaAngles best_angles = circuit::unpack_angles(opt.x);
+void QaoaSolver::extract_result(const QaoaOptions& options,
+                                EvalWorkspace& workspace, util::Rng& shot_rng,
+                                QaoaResult& result) const {
+  const circuit::QaoaAngles best_angles =
+      circuit::unpack_angles(result.parameters);
   prepare_state(best_angles, workspace.sv);
   const sim::StateVector& sv = workspace.sv;
   result.expectation = sim::expectation_diagonal(sv, cut_table_);
@@ -199,6 +263,223 @@ QaoaResult QaoaSolver::optimize(const QaoaOptions& options) const {
     }
     result.best_sampled_value = best_sampled;
   }
+}
+
+namespace {
+
+/// Lockstep barrier that batches one objective evaluation per live restart
+/// into a single BatchedStateVector sweep. Each restart thread submits its
+/// parameters and blocks; the last arriver evaluates every pending lane at
+/// once (cut table loaded once per amplitude for all of them) and wakes the
+/// rest. Because every lane of the batched simulator is bit-for-bit an
+/// independent StateVector evaluation, a restart's optimizer trajectory is
+/// identical no matter how many other restarts are still alive — which is
+/// what makes the batched path exactly replayable as sequential runs.
+class LockstepEvaluator {
+ public:
+  LockstepEvaluator(const std::vector<double>& cut_table, int num_qubits,
+                    int layers, int restarts)
+      : cut_table_(cut_table),
+        num_qubits_(num_qubits),
+        layers_(layers),
+        active_(restarts),
+        slots_(static_cast<std::size_t>(restarts)) {}
+
+  /// Objective for restart `lane`: returns -F_p(params), evaluated together
+  /// with every other live restart's pending point.
+  double evaluate(int lane, const std::vector<double>& params) {
+    util::MutexLock lock(mu_);
+    Slot& slot = slots_[static_cast<std::size_t>(lane)];
+    slot.params = &params;
+    slot.pending = true;
+    ++waiting_;
+    if (waiting_ == active_) {
+      run_batch();
+    } else {
+      const std::uint64_t gen = generation_;
+      while (generation_ == gen) cv_.wait(lock);
+    }
+    if (failed_) {
+      throw std::runtime_error(
+          "QaoaSolver: batched restart evaluation failed");
+    }
+    return slot.result;
+  }
+
+  /// Restart `lane` finished its optimization: shrink the barrier. If every
+  /// remaining restart is already waiting, the finisher runs their batch on
+  /// the way out.
+  void deregister(int lane) {
+    (void)lane;
+    util::MutexLock lock(mu_);
+    --active_;
+    if (active_ > 0 && waiting_ == active_) run_batch();
+  }
+
+ private:
+  struct Slot {
+    const std::vector<double>* params = nullptr;
+    double result = 0.0;
+    bool pending = false;
+  };
+
+  void run_batch() QQ_REQUIRES(mu_) {
+    try {
+      // Pending lanes evaluate in ascending restart order, so a fixed
+      // (seed, restart) pair always lands in a deterministic lane.
+      batch_lanes_.clear();
+      for (std::size_t r = 0; r < slots_.size(); ++r) {
+        if (slots_[r].pending) batch_lanes_.push_back(r);
+      }
+      const int b_count = static_cast<int>(batch_lanes_.size());
+      if (b_count > 0) {
+        if (!batch_ || batch_->batch() != b_count) {
+          batch_ = std::make_unique<sim::BatchedStateVector>(num_qubits_,
+                                                             b_count);
+        }
+        scales_.resize(static_cast<std::size_t>(b_count));
+        thetas_.resize(static_cast<std::size_t>(b_count));
+        batch_->reset_to_plus();
+        for (int l = 0; l < layers_; ++l) {
+          for (int b = 0; b < b_count; ++b) {
+            // Packed layout [gamma_1..gamma_p, beta_1..beta_p]; the angle
+            // expressions match QaoaSolver::prepare_state exactly.
+            const std::vector<double>& params =
+                *slots_[batch_lanes_[static_cast<std::size_t>(b)]].params;
+            scales_[static_cast<std::size_t>(b)] =
+                params[static_cast<std::size_t>(l)];
+            thetas_[static_cast<std::size_t>(b)] =
+                2.0 * params[static_cast<std::size_t>(layers_ + l)];
+          }
+          batch_->apply_diagonal_phase(cut_table_, scales_);
+          batch_->apply_rx_layer(thetas_);
+        }
+        const std::vector<double> values =
+            batch_->expectation_diagonal(cut_table_);
+        for (int b = 0; b < b_count; ++b) {
+          Slot& slot = slots_[batch_lanes_[static_cast<std::size_t>(b)]];
+          slot.result = -values[static_cast<std::size_t>(b)];
+          slot.pending = false;
+          slot.params = nullptr;
+        }
+      }
+    } catch (...) {
+      failed_ = true;
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      throw;
+    }
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  }
+
+  const std::vector<double>& cut_table_;
+  const int num_qubits_;
+  const int layers_;
+
+  util::Mutex mu_;
+  util::CondVar cv_;
+  int active_ QQ_GUARDED_BY(mu_);
+  int waiting_ QQ_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ QQ_GUARDED_BY(mu_) = 0;
+  bool failed_ QQ_GUARDED_BY(mu_) = false;
+  std::vector<Slot> slots_ QQ_GUARDED_BY(mu_);
+  std::vector<std::size_t> batch_lanes_ QQ_GUARDED_BY(mu_);
+  std::vector<double> scales_ QQ_GUARDED_BY(mu_);
+  std::vector<double> thetas_ QQ_GUARDED_BY(mu_);
+  std::unique_ptr<sim::BatchedStateVector> batch_ QQ_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+QaoaResult QaoaSolver::optimize_batched(const QaoaOptions& options) const {
+  const int restarts = options.restarts;
+  const int budget = options.max_iterations > 0
+                         ? options.max_iterations
+                         : paper_iteration_schedule(options.layers);
+  std::function<bool()> should_stop;
+  if (options.context != nullptr) {
+    const util::RequestContext* ctx = options.context;
+    should_stop = [ctx] { return ctx->stopped(); };
+  }
+
+  // Starts are computed before any thread exists so a malformed
+  // initial_parameters override throws on the caller's thread.
+  std::vector<std::vector<double>> starts(
+      static_cast<std::size_t>(restarts));
+  for (int r = 0; r < restarts; ++r) {
+    starts[static_cast<std::size_t>(r)] =
+        restart_initial_parameters(options, r);
+  }
+
+  LockstepEvaluator evaluator(cut_table_, graph_->num_nodes(), options.layers,
+                              restarts);
+  std::vector<optim::Result> results(static_cast<std::size_t>(restarts));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(restarts));
+  // Dedicated threads, NOT pool tasks: the instances block on the lockstep
+  // barrier, and parking a blocked task on the (possibly single-threaded)
+  // global pool would deadlock it. The pool still parallelizes each batched
+  // sweep underneath.
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(restarts));
+  for (int r = 0; r < restarts; ++r) {
+    threads.emplace_back([&, r] {
+      const std::size_t rr = static_cast<std::size_t>(r);
+      try {
+        const auto objective = [&evaluator,
+                                r](const std::vector<double>& params) {
+          return evaluator.evaluate(r, params);
+        };
+        if (options.optimizer == OptimizerKind::kCobyla) {
+          optim::CobylaOptions copts;
+          copts.rhobeg = options.rhobeg;
+          copts.rhoend = 1e-4;
+          copts.maxfun = budget;
+          copts.should_stop = should_stop;
+          results[rr] = optim::cobyla_minimize(objective, starts[rr], copts);
+        } else {
+          optim::NelderMeadOptions nopts;
+          nopts.step = options.rhobeg;
+          nopts.maxfun = budget;
+          nopts.should_stop = should_stop;
+          results[rr] =
+              optim::nelder_mead_minimize(objective, starts[rr], nopts);
+        }
+      } catch (...) {
+        errors[rr] = std::current_exception();
+      }
+      // Always shrinks the barrier, even on failure, so the surviving
+      // restarts never wait on a dead lane.
+      try {
+        evaluator.deregister(r);
+      } catch (...) {
+        if (!errors[rr]) errors[rr] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  // Best restart by final expectation (fx is the minimized -F_p); strict <
+  // keeps the lowest restart index on ties, matching the sequential rule.
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    if (results[r].fx < results[best].fx) best = r;
+  }
+
+  QaoaResult result;
+  result.parameters = results[best].x;
+  result.layers = options.layers;
+  for (const optim::Result& res : results) {
+    result.evaluations += res.evaluations;
+  }
+  util::Rng shot_rng(options.seed ^ 0x7357b1e55ed5eedULL);
+  EvalWorkspace workspace(graph_->num_nodes());
+  extract_result(options, workspace, shot_rng, result);
   return result;
 }
 

@@ -1,9 +1,19 @@
 #include "qsim/blocked.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "qsim/simd.hpp"
+
 namespace qq::sim {
+
+// The diagonal kernels stream constant-phase runs through simd::scale_run —
+// the same dispatched primitive the flat StateVector's rz/rzz/phase paths
+// use — so a blocked state stays bit-for-bit identical to the flat one under
+// every backend. The non-diagonal kernels keep the generic complex 2x2 form,
+// which is the flat apply_unitary1's exact expression.
+using simd::scale_run;
 
 BlockedStateVector::BlockedStateVector(int num_qubits, int block_bits)
     : num_qubits_(num_qubits), block_bits_(block_bits) {
@@ -103,16 +113,22 @@ void BlockedStateVector::apply_rz(int q, double theta) {
   const Amplitude e0 = std::polar(1.0, -theta * 0.5);
   const Amplitude e1 = std::polar(1.0, theta * 0.5);
   if (is_global(q)) {
+    // Global qubit: the phase is constant per block — one streaming run.
     const std::size_t gbit = std::size_t{1} << (q - local_bits_);
     for (std::size_t b = 0; b < blocks_.size(); ++b) {
       const Amplitude phase = (b & gbit) ? e1 : e0;
-      for (auto& amp : blocks_[b]) amp *= phase;
+      scale_run(reinterpret_cast<double*>(blocks_[b].data()),
+                blocks_[b].size(), phase.real(), phase.imag());
     }
   } else {
+    // Local qubit: alternating e0/e1 runs of 2^q amplitudes inside each
+    // block, exactly the flat kernel's run structure.
     const std::size_t bit = std::size_t{1} << q;
     for (auto& block : blocks_) {
-      for (std::size_t i = 0; i < block.size(); ++i) {
-        block[i] *= (i & bit) ? e1 : e0;
+      double* d = reinterpret_cast<double*>(block.data());
+      for (std::size_t i = 0; i < block.size(); i += bit) {
+        const Amplitude phase = (i & bit) ? e1 : e0;
+        scale_run(d + 2 * i, bit, phase.real(), phase.imag());
       }
     }
   }
@@ -127,14 +143,22 @@ void BlockedStateVector::apply_rzz(int a, int b, double theta) {
   // from the block index for global qubits and the offset for local ones.
   const Amplitude same = std::polar(1.0, -theta * 0.5);
   const Amplitude diff = std::polar(1.0, theta * 0.5);
+  // The parity (bit_a == bit_b) is constant over aligned runs of
+  // 2^min(local qubit) amplitudes — the whole block when both qubits are
+  // global. Stream each run through one scale_run call.
+  std::size_t run = blocks_[0].size();
+  if (!is_global(a)) run = std::min(run, std::size_t{1} << a);
+  if (!is_global(b)) run = std::min(run, std::size_t{1} << b);
   for (std::size_t blk = 0; blk < blocks_.size(); ++blk) {
     const std::size_t base = blk << local_bits_;
     auto& block = blocks_[blk];
-    for (std::size_t i = 0; i < block.size(); ++i) {
+    double* d = reinterpret_cast<double*>(block.data());
+    for (std::size_t i = 0; i < block.size(); i += run) {
       const std::size_t g = base | i;
       const bool za = (g >> a) & 1;
       const bool zb = (g >> b) & 1;
-      block[i] *= (za == zb) ? same : diff;
+      const Amplitude ph = (za == zb) ? same : diff;
+      scale_run(d + 2 * i, run, ph.real(), ph.imag());
     }
   }
   ++stats_.local_gates;

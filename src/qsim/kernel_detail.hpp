@@ -7,6 +7,7 @@
 // on, so the kernels iterate exactly the index subset they touch (see
 // DESIGN.md "Kernel index enumeration").
 
+#include <algorithm>
 #include <cstdint>
 
 #include "qsim/statevector.hpp"
@@ -30,6 +31,24 @@ inline BasisState insert_zero_bit(std::uint64_t t, int q) noexcept {
 inline BasisState insert_two_zero_bits(std::uint64_t t, int lo,
                                        int hi) noexcept {
   return insert_zero_bit(insert_zero_bit(t, lo), hi);
+}
+
+/// Walk [t_lo, t_hi) of an insertion enumeration whose images are contiguous
+/// in address space for every aligned group of `run` consecutive t values
+/// (`run` a power of two). Calls fn(map(t), len) for each maximal run, where
+/// map(t) is the amplitude index of t and [map(t), map(t)+len) is contiguous.
+/// This is how the kernels turn subset enumeration into streaming runs that
+/// feed the simd.hpp primitives instead of per-element branches.
+template <typename Map, typename Fn>
+inline void walk_runs(std::size_t t_lo, std::size_t t_hi, std::size_t run,
+                      Map map, Fn fn) {
+  std::size_t t = t_lo;
+  while (t < t_hi) {
+    const std::size_t in_run = t & (run - 1);
+    const std::size_t len = std::min(run - in_run, t_hi - t);
+    fn(map(t), len);
+    t += len;
+  }
 }
 
 }  // namespace qq::sim::detail

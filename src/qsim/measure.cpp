@@ -6,12 +6,14 @@
 #include <stdexcept>
 
 #include "qsim/kernel_detail.hpp"
+#include "qsim/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qq::sim {
 
 using detail::insert_zero_bit;
 using detail::kParallelGrain;
+using detail::walk_runs;
 
 std::vector<double> probabilities(const StateVector& sv) {
   const auto& amps = sv.data();
@@ -173,14 +175,12 @@ double expectation_diagonal(const StateVector& sv,
   if (values.size() != amps.size()) {
     throw std::invalid_argument("expectation_diagonal: table size mismatch");
   }
+  const double* d = reinterpret_cast<const double*>(amps.data());
+  const double* v = values.data();
   return util::parallel_reduce(
       0, amps.size(), 0.0,
-      [&amps, &values](std::size_t lo, std::size_t hi) {
-        double partial = 0.0;
-        for (std::size_t i = lo; i < hi; ++i) {
-          partial += std::norm(amps[i]) * values[i];
-        }
-        return partial;
+      [d, v](std::size_t lo, std::size_t hi) {
+        return simd::sum_norms_weighted(0.0, d + 2 * lo, v + lo, hi - lo);
       },
       [](double a, double b) { return a + b; }, kParallelGrain);
 }
@@ -191,16 +191,22 @@ double expectation_z(const StateVector& sv, int q) {
   }
   const auto& amps = sv.data();
   const BasisState bit = BasisState{1} << q;
-  // Pair enumeration: each t visits the (bit=0, bit=1) pair, so the sweep is
-  // half the indices of the old full scan and branch-free.
+  const double* d = reinterpret_cast<const double*>(amps.data());
+  // Pair enumeration: each t visits the (bit=0, bit=1) pair; both streams
+  // are contiguous over aligned runs of 2^q values of t, so the body walks
+  // maximal runs and hands each to the ordered SIMD difference reduction
+  // (per-element accumulation order is unchanged).
   return util::parallel_reduce(
       0, amps.size() >> 1, 0.0,
-      [&amps, q, bit](std::size_t lo, std::size_t hi) {
+      [d, q, bit](std::size_t lo, std::size_t hi) {
         double partial = 0.0;
-        for (std::size_t t = lo; t < hi; ++t) {
-          const BasisState i0 = insert_zero_bit(t, q);
-          partial += std::norm(amps[i0]) - std::norm(amps[i0 | bit]);
-        }
+        walk_runs(
+            lo, hi, bit,
+            [q](std::size_t t) { return insert_zero_bit(t, q); },
+            [d, bit, &partial](BasisState i0, std::size_t len) {
+              partial = simd::sum_norm_diffs(partial, d + 2 * i0,
+                                             d + 2 * (i0 | bit), len);
+            });
         return partial;
       },
       [](double a, double b) { return a + b; }, kParallelGrain);
@@ -219,18 +225,25 @@ double expectation_zz(const StateVector& sv, int a, int b) {
   const BasisState bbit = BasisState{1} << b;
   const int lo_q = std::min(a, b);
   const int hi_q = std::max(a, b);
-  // Quarter enumeration: each t visits all four (bit_a, bit_b) combinations.
+  const std::size_t run = std::size_t{1} << lo_q;
+  const double* d = reinterpret_cast<const double*>(amps.data());
+  // Quarter enumeration: each t visits all four (bit_a, bit_b) combinations;
+  // all four streams are contiguous over aligned runs of 2^min(a,b) values
+  // of t, feeding the ordered four-way SIMD reduction.
   return util::parallel_reduce(
       0, amps.size() >> 2, 0.0,
-      [&amps, lo_q, hi_q, abit, bbit](std::size_t lo, std::size_t hi) {
+      [d, lo_q, hi_q, abit, bbit, run](std::size_t lo, std::size_t hi) {
         double partial = 0.0;
-        for (std::size_t t = lo; t < hi; ++t) {
-          const BasisState i00 =
-              insert_zero_bit(insert_zero_bit(t, lo_q), hi_q);
-          partial += std::norm(amps[i00]) - std::norm(amps[i00 | abit]) -
-                     std::norm(amps[i00 | bbit]) +
-                     std::norm(amps[i00 | abit | bbit]);
-        }
+        walk_runs(
+            lo, hi, run,
+            [lo_q, hi_q](std::size_t t) {
+              return detail::insert_two_zero_bits(t, lo_q, hi_q);
+            },
+            [d, abit, bbit, &partial](BasisState i00, std::size_t len) {
+              partial = simd::sum_norm_quads(
+                  partial, d + 2 * i00, d + 2 * (i00 | abit),
+                  d + 2 * (i00 | bbit), d + 2 * (i00 | abit | bbit), len);
+            });
         return partial;
       },
       [](double a2, double b2) { return a2 + b2; }, kParallelGrain);

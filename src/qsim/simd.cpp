@@ -1,0 +1,58 @@
+#include "qsim/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace qq::sim::simd {
+
+Isa max_supported_isa() noexcept {
+#if QQ_SIMD_X86
+  // One-shot CPUID probe; GCC/Clang's builtin resolver caches the cpuid
+  // results process-wide, and the static makes our classification one-shot
+  // too.
+  static const Isa cached = [] {
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx2")) {
+      return Isa::kAvx512;
+    }
+    if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+    return Isa::kScalar;
+  }();
+  return cached;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+Isa initial_isa() noexcept {
+  Isa isa = max_supported_isa();
+  // Ops/bench override: QQ_SIMD_ISA=scalar|avx2|avx512 caps (never raises)
+  // the startup selection, so before/after comparisons need no rebuild.
+  if (const char* env = std::getenv("QQ_SIMD_ISA")) {
+    Isa wanted = isa;
+    if (std::strcmp(env, "scalar") == 0) {
+      wanted = Isa::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      wanted = Isa::kAvx2;
+    } else if (std::strcmp(env, "avx512") == 0) {
+      wanted = Isa::kAvx512;
+    }
+    if (static_cast<int>(wanted) < static_cast<int>(isa)) isa = wanted;
+  }
+  return isa;
+}
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+}  // namespace qq::sim::simd

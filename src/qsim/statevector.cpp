@@ -6,6 +6,7 @@
 #include <string>
 
 #include "qsim/kernel_detail.hpp"
+#include "qsim/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qq::sim {
@@ -13,59 +14,22 @@ namespace qq::sim {
 using detail::insert_two_zero_bits;
 using detail::insert_zero_bit;
 using detail::kParallelGrain;
+using detail::walk_runs;
+
+// The run primitives (complex scaling, negation, RX butterflies, the
+// low-qubit 16-double table sweep) live in qsim/simd.hpp and dispatch to
+// the widest available backend; the index enumeration here stays unchanged,
+// so every kernel feeds the same contiguous runs to whichever backend runs.
+using simd::mul_table16_blocks;
+using simd::negate_run;
+using simd::rx_block_levels;
+using simd::rx_butterfly2_runs;
+using simd::rx_butterfly_runs;
+using simd::rx_interleaved_pairs;
+using simd::scale_run;
+using simd::scale_runs_pattern;
 
 namespace {
-
-/// Walk [t_lo, t_hi) of an insertion enumeration whose images are contiguous
-/// in address space for every aligned group of `run` consecutive t values
-/// (`run` a power of two). Calls fn(map(t), len) for each maximal run, where
-/// map(t) is the amplitude index of t and [map(t), map(t)+len) is contiguous.
-/// This is how the rewritten kernels turn subset enumeration into
-/// vectorizable streaming loops instead of per-element branches.
-template <typename Map, typename Fn>
-inline void walk_runs(std::size_t t_lo, std::size_t t_hi, std::size_t run,
-                      Map map, Fn fn) {
-  std::size_t t = t_lo;
-  while (t < t_hi) {
-    const std::size_t in_run = t & (run - 1);
-    const std::size_t len = std::min(run - in_run, t_hi - t);
-    fn(map(t), len);
-    t += len;
-  }
-}
-
-/// amps[i] *= (pr + i*pi) for `len` contiguous amplitudes starting at p
-/// (p points at the real part of the first one).
-inline void scale_run(double* p, std::size_t len, double pr,
-                      double pi) noexcept {
-  for (std::size_t j = 0; j < 2 * len; j += 2) {
-    const double re = p[j];
-    const double im = p[j + 1];
-    p[j] = pr * re - pi * im;
-    p[j + 1] = pr * im + pi * re;
-  }
-}
-
-inline void negate_run(double* p, std::size_t len) noexcept {
-  for (std::size_t j = 0; j < 2 * len; ++j) p[j] = -p[j];
-}
-
-/// RX butterfly between two contiguous runs of `len` amplitudes:
-///   a0' = c*a0 - i s*a1,  a1' = -i s*a0 + c*a1.
-/// Written in explicit real arithmetic so the compiler vectorizes it.
-inline void rx_butterfly_runs(double* p0, double* p1, std::size_t len,
-                              double c, double s) noexcept {
-  for (std::size_t j = 0; j < 2 * len; j += 2) {
-    const double a0r = p0[j];
-    const double a0i = p0[j + 1];
-    const double a1r = p1[j];
-    const double a1i = p1[j + 1];
-    p0[j] = c * a0r + s * a1i;
-    p0[j + 1] = c * a0i - s * a1r;
-    p1[j] = c * a1r + s * a0i;
-    p1[j + 1] = c * a1i - s * a0r;
-  }
-}
 
 /// Fused-mixer cache geometry: pass 1 applies the lowest kFusedBlockQubits
 /// qubits inside contiguous 2^12-amplitude (64 KiB) blocks; pass 2 applies
@@ -112,12 +76,11 @@ void StateVector::check_qubit(int q) const {
 }
 
 double StateVector::norm_squared() const {
+  const double* d = reinterpret_cast<const double*>(amps_.data());
   return util::parallel_reduce(
       0, amps_.size(), 0.0,
-      [this](std::size_t lo, std::size_t hi) {
-        double partial = 0.0;
-        for (std::size_t i = lo; i < hi; ++i) partial += std::norm(amps_[i]);
-        return partial;
+      [d](std::size_t lo, std::size_t hi) {
+        return simd::sum_norms(0.0, d + 2 * lo, hi - lo);
       },
       [](double a, double b) { return a + b; }, kParallelGrain);
 }
@@ -224,25 +187,17 @@ void StateVector::apply_rz(int q, double theta) {
   double* d = reinterpret_cast<double*>(amps_.data());
   if (bit >= 8 || amps_.size() < 8) {
     // Stride structure: period 2^(q+1) = a contiguous e0 run then an e1 run,
-    // each 2^q long. Two half enumerations, both branch-free streaming.
-    const std::size_t half = amps_.size() >> 1;
+    // each 2^q long. One streaming sweep; the per-run e0/e1 choice is the
+    // parity of the run index (selmask = 1), resolved inside the primitive
+    // so both phase broadcasts stay live across the whole chunk.
+    const std::size_t nruns = amps_.size() >> q;
     util::parallel_for_chunks(
-        0, half,
+        0, nruns,
         [d, q, bit, e0, e1](std::size_t lo, std::size_t hi) {
-          walk_runs(
-              lo, hi, bit,
-              [q](std::size_t t) { return insert_zero_bit(t, q); },
-              [d, e0](BasisState i0, std::size_t len) {
-                scale_run(d + 2 * i0, len, e0.real(), e0.imag());
-              });
-          walk_runs(
-              lo, hi, bit,
-              [q, bit](std::size_t t) { return insert_zero_bit(t, q) | bit; },
-              [d, e1](BasisState i0, std::size_t len) {
-                scale_run(d + 2 * i0, len, e1.real(), e1.imag());
-              });
+          scale_runs_pattern(d + 2 * (lo << q), lo, hi - lo, bit, 1,
+                             e0.real(), e0.imag(), e1.real(), e1.imag());
         },
-        kParallelGrain);
+        std::max<std::size_t>(1, kParallelGrain >> q));
     return;
   }
   // Low qubit (runs shorter than a cache line): one sweep with a periodic
@@ -256,15 +211,7 @@ void StateVector::apply_rz(int q, double theta) {
   util::parallel_for_chunks(
       0, amps_.size() >> 3,
       [d, &tbl](std::size_t lo, std::size_t hi) {
-        for (std::size_t blk8 = lo; blk8 < hi; ++blk8) {
-          double* p = d + 16 * blk8;
-          for (std::size_t j = 0; j < 16; j += 2) {
-            const double re = p[j];
-            const double im = p[j + 1];
-            p[j] = tbl[j] * re - tbl[j + 1] * im;
-            p[j + 1] = tbl[j] * im + tbl[j + 1] * re;
-          }
-        }
+        mul_table16_blocks(d + 16 * lo, hi - lo, tbl);
       },
       kParallelGrain / 8);
 }
@@ -394,18 +341,16 @@ void StateVector::apply_rzz(int a, int b, double theta) {
   const std::size_t run = BasisState{1} << lo_q;
   double* d = reinterpret_cast<double*>(amps_.data());
   if (run >= 8 || amps_.size() < 8) {
-    // The phase is constant over aligned runs of 2^min(a,b) amplitudes.
+    // The phase is constant over aligned runs of 2^min(a,b) amplitudes;
+    // same/diff tracks the parity of the two qubit bits of the run index.
     const std::size_t nruns = amps_.size() >> lo_q;
+    const std::size_t selmask = static_cast<std::size_t>((abit | bbit) >> lo_q);
     util::parallel_for_chunks(
         0, nruns,
-        [d, lo_q, abit, bbit, run, same, diff](std::size_t lo,
-                                               std::size_t hi) {
-          for (std::size_t r = lo; r < hi; ++r) {
-            const BasisState base = static_cast<BasisState>(r) << lo_q;
-            const bool eq = ((base & abit) != 0) == ((base & bbit) != 0);
-            const Amplitude ph = eq ? same : diff;
-            scale_run(d + 2 * base, run, ph.real(), ph.imag());
-          }
+        [d, lo_q, run, selmask, same, diff](std::size_t lo, std::size_t hi) {
+          scale_runs_pattern(d + 2 * (lo << lo_q), lo, hi - lo, run, selmask,
+                             same.real(), same.imag(), diff.real(),
+                             diff.imag());
         },
         std::max<std::size_t>(1, kParallelGrain >> lo_q));
     return;
@@ -426,20 +371,24 @@ void StateVector::apply_rzz(int a, int b, double theta) {
       tbl[h][2 * j + 1] = ph.imag();
     }
   }
+  // In 8-amplitude blocks, the table index flips with period hibit/8 blocks
+  // (never, when the high bit sits inside the pattern), so the sweep walks
+  // maximal equal-table runs and streams each through one primitive call.
+  const std::size_t hb =
+      hibit >= 8 ? static_cast<std::size_t>(hibit >> 3) : 0;
   util::parallel_for_chunks(
       0, amps_.size() >> 3,
-      [d, &tbl, hibit](std::size_t lo, std::size_t hi) {
-        for (std::size_t blk8 = lo; blk8 < hi; ++blk8) {
-          const BasisState base = static_cast<BasisState>(blk8) << 3;
-          const int h = (hibit >= 8 && (base & hibit)) ? 1 : 0;
-          const double* t = tbl[h];
-          double* p = d + 2 * base;
-          for (std::size_t j = 0; j < 16; j += 2) {
-            const double re = p[j];
-            const double im = p[j + 1];
-            p[j] = t[j] * re - t[j + 1] * im;
-            p[j + 1] = t[j] * im + t[j + 1] * re;
-          }
+      [d, &tbl, hb](std::size_t lo, std::size_t hi) {
+        if (hb == 0) {
+          mul_table16_blocks(d + 16 * lo, hi - lo, tbl[0]);
+          return;
+        }
+        std::size_t blk = lo;
+        while (blk < hi) {
+          const std::size_t in_run = blk & (hb - 1);
+          const std::size_t len = std::min(hb - in_run, hi - blk);
+          mul_table16_blocks(d + 16 * blk, len, tbl[(blk & hb) ? 1 : 0]);
+          blk += len;
         }
       },
       kParallelGrain / 8);
@@ -461,25 +410,8 @@ void StateVector::apply_rx_layer(double theta) {
       0, nblocks,
       [d, B, blk, c, s](std::size_t lo, std::size_t hi) {
         for (std::size_t blki = lo; blki < hi; ++blki) {
-          double* p = d + 2 * blk * blki;
-          // Qubit 0: interleaved pairs, handled with explicit 4-double math.
-          for (std::size_t j = 0; j < 2 * blk; j += 4) {
-            const double a0r = p[j];
-            const double a0i = p[j + 1];
-            const double a1r = p[j + 2];
-            const double a1i = p[j + 3];
-            p[j] = c * a0r + s * a1i;
-            p[j + 1] = c * a0i - s * a1r;
-            p[j + 2] = c * a1r + s * a0i;
-            p[j + 3] = c * a1i - s * a0r;
-          }
-          for (int q = 1; q < B; ++q) {
-            const std::size_t stride = std::size_t{1} << q;
-            for (std::size_t base = 0; base < blk; base += 2 * stride) {
-              rx_butterfly_runs(p + 2 * base, p + 2 * (base + stride), stride,
-                                c, s);
-            }
-          }
+          // All B levels in radix-4 sweeps, backend resolved once per block.
+          rx_block_levels(d + 2 * blk * blki, B, c, s);
         }
       },
       std::max<std::size_t>(1, kParallelGrain >> B));
@@ -506,7 +438,27 @@ void StateVector::apply_rx_layer(double theta) {
             const std::size_t base_h =
                 ((o >> j0) << (j0 + g)) |
                 (o & ((std::size_t{1} << j0) - 1));
-            for (int k = 0; k < g; ++k) {
+            // Radix-4 over the group: two levels per tile sweep. The row
+            // quartet (r, r+s, r+2s, r+3s) covers exactly the level-k pairs
+            // (r, r+s), (r+2s, r+3s) and the level-(k+1) pairs of their
+            // results — same per-element order as two separate level loops.
+            int k = 0;
+            for (; k + 1 < g; k += 2) {
+              const std::size_t stride = std::size_t{1} << k;
+              for (std::size_t r0 = 0; r0 < rows; r0 += 4 * stride) {
+                for (std::size_t r = r0; r < r0 + stride; ++r) {
+                  const std::size_t h0 = base_h | (r << j0);
+                  const std::size_t h1 = base_h | ((r + stride) << j0);
+                  const std::size_t h2 = base_h | ((r + 2 * stride) << j0);
+                  const std::size_t h3 = base_h | ((r + 3 * stride) << j0);
+                  rx_butterfly2_runs(d + 2 * (h0 * blk + col),
+                                     d + 2 * (h1 * blk + col),
+                                     d + 2 * (h2 * blk + col),
+                                     d + 2 * (h3 * blk + col), W, c, s);
+                }
+              }
+            }
+            if (k < g) {
               const std::size_t stride = std::size_t{1} << k;
               for (std::size_t r0 = 0; r0 < rows; r0 += 2 * stride) {
                 for (std::size_t r = r0; r < r0 + stride; ++r) {

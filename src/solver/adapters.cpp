@@ -315,17 +315,19 @@ void register_builtin_solvers(SolverRegistry& registry) {
        {"iters", "COBYLA evaluation budget; 0 = paper schedule"},
        {"shots", "shots per circuit execution"},
        {"rhobeg", "COBYLA initial step"},
-       {"topk", "top-k amplitudes scanned for the answer"}},
+       {"topk", "top-k amplitudes scanned for the answer"},
+       {"restarts", "batched optimizer restarts (default 1)"}},
       [](const SolverRegistry&, std::string_view params,
          const SolverDefaults& defaults) -> SolverPtr {
         const Params p("qaoa", params,
-                       {"p", "iters", "shots", "rhobeg", "topk"});
+                       {"p", "iters", "shots", "rhobeg", "topk", "restarts"});
         qaoa::QaoaOptions opts = defaults.qaoa;
         opts.layers = p.get_int("p", opts.layers);
         opts.max_iterations = p.get_int("iters", opts.max_iterations);
         opts.shots = p.get_int("shots", opts.shots);
         opts.rhobeg = p.get_double("rhobeg", opts.rhobeg);
         opts.top_k = p.get_int("topk", opts.top_k);
+        opts.restarts = p.get_int("restarts", opts.restarts);
         return std::make_unique<QaoaAdapter>(opts);
       });
 

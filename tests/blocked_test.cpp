@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "qsim/blocked.hpp"
 #include "qsim/measure.hpp"
+#include "qsim/simd.hpp"
 #include "util/rng.hpp"
 
 namespace qq::sim {
@@ -88,6 +91,64 @@ TEST_P(BlockedEquivalence, RandomCircuitMatchesFlatSimulator) {
 
 INSTANTIATE_TEST_SUITE_P(BlockCounts, BlockedEquivalence,
                          ::testing::Values(0, 1, 2, 4, 8));
+
+// The blocked simulator's diagonal kernels stream through the same
+// dispatched simd:: primitives as the flat one, and its non-diagonal
+// kernels use the flat generic 2x2 expressions — so blocked-vs-flat parity
+// is EXACT (bit-for-bit), and must stay exact under every SIMD backend.
+TEST(Blocked, SimdBackendsMatchFlatBitForBit) {
+  const simd::Isa entry = simd::active_isa();
+  std::vector<simd::Isa> isas{simd::Isa::kScalar};
+  for (const simd::Isa isa : {simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (simd::set_isa(isa) == isa) isas.push_back(isa);
+  }
+
+  const int n = 8;
+  for (const simd::Isa isa : isas) {
+    ASSERT_EQ(simd::set_isa(isa), isa);
+    for (const int block_bits : {0, 2, 8}) {
+      util::Rng rng(static_cast<std::uint64_t>(block_bits) * 131 + 7);
+      BlockedStateVector blocked(n, block_bits);
+      blocked.set_plus_state();
+      StateVector flat = StateVector::plus_state(n);
+      for (int step = 0; step < 60; ++step) {
+        const int q = util::uniform_int(rng, 0, n - 1);
+        int q2 = util::uniform_int(rng, 0, n - 1);
+        while (q2 == q) q2 = util::uniform_int(rng, 0, n - 1);
+        const double t = util::uniform(rng, -2.0, 2.0);
+        switch (util::uniform_int(rng, 0, 4)) {
+          case 0:
+            blocked.apply_h(q);
+            flat.apply_h(q);
+            break;
+          case 1:
+            blocked.apply_rx(q, t);
+            flat.apply_rx(q, t);
+            break;
+          case 2:
+            blocked.apply_rz(q, t);
+            flat.apply_rz(q, t);
+            break;
+          case 3:
+            blocked.apply_rzz(q, q2, t);
+            flat.apply_rzz(q, q2, t);
+            break;
+          default:
+            blocked.apply_cx(q, q2);
+            flat.apply_cx(q, q2);
+            break;
+        }
+      }
+      const StateVector gathered = blocked.to_statevector();
+      ASSERT_EQ(gathered.size(), flat.size());
+      EXPECT_EQ(std::memcmp(gathered.data().data(), flat.data().data(),
+                            flat.size() * sizeof(Amplitude)),
+                0)
+          << "block_bits=" << block_bits << " under " << simd::isa_name(isa);
+    }
+  }
+  simd::set_isa(entry);
+}
 
 TEST(Blocked, DiagonalGatesAreCommunicationFree) {
   BlockedStateVector sv(8, 3);

@@ -360,6 +360,172 @@ TEST(Optimize, InputValidation) {
   EXPECT_THROW(solve_qaoa(g, opts), std::invalid_argument);
 }
 
+// ----------------------------------------------- batched restarts ----
+
+TEST(Restarts, BatchedMatchesSequentialReplayExactly) {
+  // The lockstep-batched path promises each restart's trajectory is
+  // bit-for-bit the one a restarts=1 run from the same start produces, and
+  // that the best expectation wins. Replay every restart sequentially and
+  // demand EXACT equality (not near-equality) of the winner.
+  util::Rng rng(31);
+  const Graph g = graph::erdos_renyi(8, 0.4, rng);
+  const QaoaSolver solver(g);
+  QaoaOptions opts;
+  opts.layers = 2;
+  opts.seed = 9;
+  opts.restarts = 4;
+  opts.lockstep_min_qubits = 0;  // force lockstep below the size crossover
+  const QaoaResult batched = solver.optimize(opts);
+
+  QaoaResult best;
+  int total_evaluations = 0;
+  for (int r = 0; r < opts.restarts; ++r) {
+    QaoaOptions single = opts;
+    single.restarts = 1;
+    single.initial_parameters = restart_initial_parameters(opts, r);
+    const QaoaResult res = solver.optimize(single);
+    total_evaluations += res.evaluations;
+    if (r == 0 || res.expectation > best.expectation) best = res;
+  }
+
+  EXPECT_EQ(batched.parameters, best.parameters);
+  EXPECT_EQ(batched.expectation, best.expectation);
+  EXPECT_EQ(batched.cut.assignment, best.cut.assignment);
+  EXPECT_EQ(batched.cut.value, best.cut.value);
+  EXPECT_EQ(batched.best_sampled_value, best.best_sampled_value);
+  EXPECT_EQ(batched.evaluations, total_evaluations);
+}
+
+TEST(Restarts, SizeThresholdFallbackIsBitIdentical) {
+  // Below lockstep_min_qubits optimize() silently runs the sequential
+  // replay; the caller must not be able to tell apart from forced lockstep.
+  util::Rng rng(53);
+  const Graph g = graph::erdos_renyi(8, 0.4, rng);
+  const QaoaSolver solver(g);
+  QaoaOptions opts;
+  opts.layers = 2;
+  opts.seed = 11;
+  opts.restarts = 3;
+  ASSERT_LT(static_cast<int>(g.num_nodes()), opts.lockstep_min_qubits);
+  const QaoaResult seq = solver.optimize(opts);
+  opts.lockstep_min_qubits = 0;
+  const QaoaResult lock = solver.optimize(opts);
+  EXPECT_EQ(seq.parameters, lock.parameters);
+  EXPECT_EQ(seq.expectation, lock.expectation);
+  EXPECT_EQ(seq.evaluations, lock.evaluations);
+  EXPECT_EQ(seq.cut.assignment, lock.cut.assignment);
+}
+
+TEST(Restarts, NelderMeadBackendMatchesSequentialReplay) {
+  util::Rng rng(37);
+  const Graph g = graph::erdos_renyi(7, 0.45, rng);
+  const QaoaSolver solver(g);
+  QaoaOptions opts;
+  opts.layers = 2;
+  opts.seed = 4;
+  opts.restarts = 3;
+  opts.lockstep_min_qubits = 0;
+  opts.optimizer = OptimizerKind::kNelderMead;
+  opts.max_iterations = 80;
+  const QaoaResult batched = solver.optimize(opts);
+
+  QaoaResult best;
+  for (int r = 0; r < opts.restarts; ++r) {
+    QaoaOptions single = opts;
+    single.restarts = 1;
+    single.initial_parameters = restart_initial_parameters(opts, r);
+    const QaoaResult res = solver.optimize(single);
+    if (r == 0 || res.expectation > best.expectation) best = res;
+  }
+  EXPECT_EQ(batched.parameters, best.parameters);
+  EXPECT_EQ(batched.expectation, best.expectation);
+}
+
+TEST(Restarts, NeverWorseThanSingleRun) {
+  util::Rng rng(41);
+  const Graph g = graph::erdos_renyi(9, 0.35, rng);
+  const QaoaSolver solver(g);
+  QaoaOptions opts;
+  opts.layers = 2;
+  opts.seed = 6;
+  const QaoaResult single = solver.optimize(opts);
+  opts.restarts = 5;
+  const QaoaResult multi = solver.optimize(opts);
+  // Restart 0 IS the single run, so the max over restarts can only improve.
+  EXPECT_GE(multi.expectation, single.expectation);
+}
+
+TEST(Restarts, ShotBasedFallbackMatchesSequentialLoop) {
+  util::Rng rng(43);
+  const Graph g = graph::erdos_renyi(7, 0.4, rng);
+  const QaoaSolver solver(g);
+  QaoaOptions opts;
+  opts.layers = 2;
+  opts.seed = 8;
+  opts.shots = 256;
+  opts.shot_based_objective = true;
+  opts.restarts = 3;
+  const QaoaResult multi = solver.optimize(opts);
+
+  QaoaResult best;
+  for (int r = 0; r < opts.restarts; ++r) {
+    QaoaOptions single = opts;
+    single.restarts = 1;
+    single.initial_parameters = restart_initial_parameters(opts, r);
+    const QaoaResult res = solver.optimize(single);
+    if (r == 0 || res.expectation > best.expectation) best = res;
+  }
+  EXPECT_EQ(multi.parameters, best.parameters);
+  EXPECT_EQ(multi.expectation, best.expectation);
+}
+
+TEST(Restarts, InitialParametersAreDeterministicAndDiverse) {
+  QaoaOptions opts;
+  opts.layers = 3;
+  opts.seed = 12;
+  // Restart 0 reproduces the single-run start (the linear ramp here).
+  const std::vector<double> r0 = restart_initial_parameters(opts, 0);
+  ASSERT_EQ(r0.size(), std::size_t{6});
+  for (int l = 0; l < 3; ++l) {
+    const double t = (l + 0.5) / 3.0;
+    EXPECT_DOUBLE_EQ(r0[l], 0.7 * t);
+    EXPECT_DOUBLE_EQ(r0[3 + l], 0.7 * (1.0 - t));
+  }
+  // An explicit override wins for restart 0 only.
+  QaoaOptions warm = opts;
+  warm.initial_parameters = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  EXPECT_EQ(restart_initial_parameters(warm, 0), warm.initial_parameters);
+  EXPECT_NE(restart_initial_parameters(warm, 1), warm.initial_parameters);
+  // Fixed (seed, restart) is reproducible; distinct restarts differ.
+  EXPECT_EQ(restart_initial_parameters(opts, 2),
+            restart_initial_parameters(opts, 2));
+  EXPECT_NE(restart_initial_parameters(opts, 1),
+            restart_initial_parameters(opts, 2));
+  EXPECT_THROW(restart_initial_parameters(opts, -1), std::invalid_argument);
+}
+
+TEST(Restarts, InputValidation) {
+  const Graph g = graph::cycle_graph(4);
+  QaoaOptions opts;
+  opts.restarts = 0;
+  EXPECT_THROW(solve_qaoa(g, opts), std::invalid_argument);
+}
+
+TEST(CostTable, BuiltOncePerBatchedSolve) {
+  util::Rng rng(47);
+  const Graph g = graph::erdos_renyi(7, 0.4, rng);
+  QaoaOptions opts;
+  opts.layers = 2;
+  opts.seed = 2;
+  opts.restarts = 8;
+  opts.lockstep_min_qubits = 0;
+  const std::uint64_t before = cut_table_builds();
+  solve_qaoa(g, opts);
+  // One QaoaSolver construction = one table build shared by all 8 lockstep
+  // restarts; the per-iteration objective and the final extraction reuse it.
+  EXPECT_EQ(cut_table_builds() - before, 1u);
+}
+
 TEST(Schedule, PaperIterationEndpoints) {
   EXPECT_EQ(paper_iteration_schedule(3), 30);
   EXPECT_EQ(paper_iteration_schedule(4), 44);

@@ -24,10 +24,18 @@
 //   iostream-in-header   header including <iostream> (drags the static
 //                        ios_base initializer into every TU; use <ostream>
 //                        or keep I/O in a .cpp).
+//   raw-intrinsics       x86 SIMD spelled outside src/qsim/simd.hpp:
+//                        _mm*() intrinsic calls, __m128/__m256/__m512
+//                        vector types, or an <immintrin.h>-family include.
+//                        Kernels must call the dispatched simd:: primitives
+//                        instead — a stray intrinsic bypasses the runtime
+//                        ISA dispatch, the scalar bit-parity contract, and
+//                        the QQ_SIMD=OFF build.
 //
 // Suppression: put `qq-lint: allow(<rule>)` in a comment on the offending
 // line. src/util/mutex.hpp is exempt from raw-mutex by path — it IS the
-// wrapper.
+// wrapper — and src/qsim/simd.hpp is exempt from raw-intrinsics for the
+// same reason.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
@@ -151,6 +159,11 @@ bool raw_mutex_exempt(const std::string& rel) {
   return rel == "src/util/mutex.hpp";
 }
 
+/// The one file allowed to spell x86 intrinsics: the dispatch layer.
+bool raw_intrinsics_exempt(const std::string& rel) {
+  return rel == "src/qsim/simd.hpp";
+}
+
 // sentinel-best-seed: a floating-point declaration whose name says "this
 // tracks the best/max so far" seeded with the magic -1. The type keyword is
 // part of the pattern: `auto x = -1.0` deduces double, while `int best = -1`
@@ -164,6 +177,13 @@ const std::regex kRawMutexType(
 const std::regex kRawMutexInclude(
     R"(#\s*include\s*<(mutex|shared_mutex|condition_variable)>)");
 const std::regex kIostreamInclude(R"(#\s*include\s*<iostream>)");
+
+// raw-intrinsics: _mm_/_mm256_/_mm512_ intrinsic names, __m128/__m256/__m512
+// vector types (any suffix), or an intrinsics header include.
+const std::regex kRawIntrinsicToken(
+    R"(\b(_mm[0-9]*_[A-Za-z0-9_]+|__m(?:64|128|256|512)[a-z0-9]*)\b)");
+const std::regex kRawIntrinsicInclude(
+    R"(#\s*include\s*<([a-z0-9]*mmintrin\.h|x86intrin\.h|intrin\.h)>)");
 
 void scan_file(const std::string& rel, const std::string& content,
                std::vector<Finding>& findings) {
@@ -220,6 +240,18 @@ void scan_file(const std::string& rel, const std::string& content,
                           "<iostream> in a header; include <ostream> or "
                           "move the I/O into a .cpp"});
     }
+    if (!raw_intrinsics_exempt(rel)) {
+      if ((std::regex_search(line, m, kRawIntrinsicToken) ||
+           std::regex_search(line, m, kRawIntrinsicInclude)) &&
+          !line_allows(raw, "raw-intrinsics")) {
+        findings.push_back(
+            {rel, i + 1, "raw-intrinsics",
+             "raw x86 intrinsic '" + m[0].str() +
+                 "' outside src/qsim/simd.hpp; call the dispatched simd:: "
+                 "primitives so scalar parity, runtime dispatch, and the "
+                 "QQ_SIMD=OFF build keep working"});
+      }
+    }
   }
 }
 
@@ -268,6 +300,23 @@ int run_self_test() {
        "#pragma once\n#include <iostream>\n", "iostream-in-header"},
       {"iostream in cpp is fine", "src/a.cpp", "#include <iostream>\n",
        nullptr},
+      {"intrinsic call fires", "src/qsim/statevector.cpp",
+       "void f(double* p) { _mm256_loadu_pd(p); }\n", "raw-intrinsics"},
+      {"vector type fires", "src/a.hpp",
+       "#pragma once\nstruct S { __m512d v; };\n", "raw-intrinsics"},
+      {"immintrin include fires", "src/a.cpp", "#include <immintrin.h>\n",
+       "raw-intrinsics"},
+      {"legacy emmintrin include fires", "src/a.cpp",
+       "#include <emmintrin.h>\n", "raw-intrinsics"},
+      {"simd dispatch header is exempt", "src/qsim/simd.hpp",
+       "#pragma once\n#include <immintrin.h>\nstruct V { __m256d v; };\n",
+       nullptr},
+      {"intrinsic in comment is fine", "src/a.cpp",
+       "// _mm256_add_pd is banned here\nint x;\n", nullptr},
+      {"intrinsic allow comment suppresses", "src/a.cpp",
+       "using V = __m256d;  // qq-lint: allow(raw-intrinsics)\n", nullptr},
+      {"plain identifiers stay clean", "src/a.cpp",
+       "int comm_size = 0; double mm_total = 0.0;\n", nullptr},
   };
   int failures = 0;
   for (const Case& c : cases) {
