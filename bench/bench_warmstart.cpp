@@ -4,13 +4,17 @@
 //   * cold random initialization,
 //   * the adiabatic-style linear ramp,
 //   * INTERP layer-wise growth,
-//   * kNN prediction from a knowledge base of solved instances.
+//   * kNN prediction from a knowledge base of solved instances,
+//   * the solve cache's warm-start advisor: kNN over schedules recorded at
+//     a SHALLOWER depth, reshaped to the target depth with the INTERP rule
+//     (what a cache miss receives from cache::WarmStartAdvisor).
 //
 //   ./bench_warmstart [--nodes 10] [--instances 12] [--layers 4]
 
 #include <cstdio>
 #include <string>
 
+#include "cache/warm_start.hpp"
 #include "ml/features.hpp"
 #include "ml/knn.hpp"
 #include "qaoa/interp.hpp"
@@ -36,6 +40,10 @@ int main(int argc, char** argv) {
   // training family.
   qq::util::Rng rng(seed);
   qq::ml::ParameterKnn store;
+  // The cache advisor trains on SHALLOWER solves (what a fleet cache has
+  // actually seen) and must reshape them to the requested depth.
+  const int shallow = std::max(1, layers / 2);
+  qq::cache::WarmStartAdvisor advisor;
   for (int i = 0; i < 10; ++i) {
     const auto g = qq::graph::erdos_renyi(nodes, 0.35, rng);
     if (g.num_edges() == 0) continue;
@@ -46,9 +54,14 @@ int main(int argc, char** argv) {
     const auto r = qq::qaoa::solve_qaoa(g, opts);
     const auto f = qq::ml::graph_features(g);
     store.add({f.begin(), f.end()}, r.parameters);
+
+    qq::qaoa::QaoaOptions shallow_opts = opts;
+    shallow_opts.layers = shallow;
+    const auto rs = qq::qaoa::solve_qaoa(g, shallow_opts);
+    advisor.record(f, shallow, rs.parameters, rs.expectation);
   }
 
-  qq::util::RunningStats cold, ramp, interp, knn;
+  qq::util::RunningStats cold, ramp, interp, knn, cached;
   for (int inst = 0; inst < instances; ++inst) {
     const auto g = qq::graph::erdos_renyi(nodes, 0.35, rng);
     if (g.num_edges() == 0) continue;
@@ -76,6 +89,10 @@ int main(int argc, char** argv) {
     qq::qaoa::QaoaOptions knn_opts = base;
     knn_opts.initial_parameters = store.predict({f.begin(), f.end()}, 3);
     knn.add(solver.optimize(knn_opts).expectation / exact);
+
+    qq::qaoa::QaoaOptions cached_opts = base;
+    cached_opts.initial_parameters = advisor.predict(f, layers);
+    cached.add(solver.optimize(cached_opts).expectation / exact);
   }
 
   qq::util::Table table({"strategy", "mean F_p/optimum", "min", "max"});
@@ -88,6 +105,7 @@ int main(int argc, char** argv) {
   row("linear ramp", ramp);
   row("INTERP", interp);
   row("kNN warm start", knn);
+  row("cache advisor (depth transfer)", cached);
   std::printf("%s\n", table.str().c_str());
   std::printf("expected shape: structure-aware starts (ramp / INTERP / kNN) "
               "dominate the cold random start at a fixed budget — the "

@@ -48,6 +48,8 @@ void print_usage(const char* prog) {
       "  --replay FILE      replay one reproducer case, exit 1 on violation\n"
       "  --replay-dir DIR   replay every .case file in DIR\n"
       "  --quick            CI smoke preset: 64 seeds, 30 s budget\n"
+      "  --cache            focus on the cache_coherence oracle (disables\n"
+      "                     the determinism/relabel/stream-parity oracles)\n"
       "  --service          storm the multi-tenant solve service instead\n"
       "  --storms N         service-mode storm count (default 20)\n"
       "  --verbose          log every scenario\n",
@@ -83,6 +85,15 @@ int main(int argc, char** argv) {
 
   qq::fuzz::OracleOptions oracle;
   oracle.exact_max_nodes = args.get_int("exact-cap", oracle.exact_max_nodes);
+  if (args.has("cache")) {
+    // Focused cache-coherence campaign: every seed still runs the recount /
+    // counts / exact-bound oracles, but the re-solve-heavy ones are swapped
+    // for the cache probes so the budget goes to cache coverage.
+    oracle.check_determinism = false;
+    oracle.check_relabel = false;
+    oracle.check_stream_parity = false;
+    oracle.check_cache_coherence = true;
+  }
 
   if (args.has("replay")) {
     return replay_paths({args.get("replay", "")}, oracle);

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cache/fingerprint.hpp"
+#include "cache/solve_cache.hpp"
 #include "maxcut/cut.hpp"
 #include "maxcut/exact.hpp"
 #include "qaoa2/qaoa2.hpp"
@@ -216,6 +218,71 @@ void check_solver_scenario(const Scenario& s, const OracleOptions& opts,
     }
   }
 
+  if (opts.check_cache_coherence && g.num_nodes() >= 2 && g.num_edges() > 0) {
+    // Fresh seed-sensitive cache, warm starts off (the defaults): every
+    // cache-routed result must be bit-identical to the uncached one.
+    cache::SolveCache cache;
+    try {
+      const solver::SolveReport miss =
+          cache.solve_through(*solver, request, s.spec);
+      if (miss.cut.value != report.cut.value ||
+          miss.cut.assignment != report.cut.assignment ||
+          miss.evaluations != report.evaluations) {
+        add(out, "cache_coherence",
+            "cache-routed solve of '" + s.spec + "' (" + fmt(miss.cut.value) +
+                ") differs from the uncached solve (" + fmt(report.cut.value) +
+                ")");
+      }
+      const solver::SolveReport hit =
+          cache.solve_through(*solver, request, s.spec);
+      if (cache.stats().hits < 1) {
+        add(out, "cache_coherence",
+            "repeating the identical request did not hit the cache");
+      }
+      if (hit.cut.value != report.cut.value ||
+          hit.cut.assignment != report.cut.assignment ||
+          hit.evaluations != report.evaluations) {
+        add(out, "cache_coherence",
+            "cache hit (" + fmt(hit.cut.value) +
+                ") is not bit-identical to the original solve (" +
+                fmt(report.cut.value) + ")");
+      }
+      // Isomorphic-hit probe: when the canonicalizer fully labels both the
+      // graph and a relabeled copy, a read-only lookup on the copy must hit
+      // the entry filled above, and the cached assignment mapped through
+      // the stored permutation must be a valid equal-value cut of the copy.
+      const auto perm = relabeling(s);
+      const Graph h = permuted_graph(g, perm);
+      const cache::Fingerprint fp_g = cache::fingerprint_graph(g);
+      const cache::Fingerprint fp_h = cache::fingerprint_graph(h);
+      if (fp_g.canonical && fp_h.canonical) {
+        cache::CachePolicy readonly;
+        readonly.mode = cache::CacheMode::kReadOnly;
+        solver::SolveRequest r2;
+        r2.graph = &h;
+        r2.seed = s.solve_seed;
+        const std::uint64_t hits_before = cache.stats().hits;
+        const solver::SolveReport iso =
+            cache.solve_through(*solver, r2, s.spec, readonly);
+        if (cache.stats().hits != hits_before + 1) {
+          add(out, "cache_coherence",
+              "read-only lookup of an isomorphic relabeled copy missed the "
+              "cached entry");
+        } else {
+          check_cut(h, iso.cut, "isomorphic cache hit", out);
+          if (std::abs(iso.cut.value - report.cut.value) > cut_tolerance(g)) {
+            add(out, "cache_coherence",
+                "isomorphic cache hit recounts to " + fmt(iso.cut.value) +
+                    " but the original solve found " + fmt(report.cut.value));
+          }
+        }
+      }
+    } catch (const std::exception& e) {
+      add(out, "cache_coherence",
+          std::string("cache-routed solve threw: ") + e.what());
+    }
+  }
+
   check_exact_and_relabel(
       s, opts, report.cut,
       [&](const Graph& h) {
@@ -363,6 +430,34 @@ void check_qaoa2_scenario(const Scenario& s, const OracleOptions& opts,
       add(out, "determinism",
           "same-seed streaming qaoa2 runs disagree: " +
               fmt(streaming.cut.value) + " then " + fmt(again.cut.value));
+    }
+  }
+
+  if (opts.check_cache_coherence) {
+    // Routing every leaf/coarse solve through a seed-sensitive cache must
+    // not perturb the pipeline: the cold (filling) run and the warm
+    // (hit-serving) rerun both match the uncached result bit-for-bit.
+    cache::SolveCache cache;
+    qaoa2::Qaoa2Options copts = qaoa2_options(s, /*streaming=*/true);
+    copts.solve_cache = &cache;
+    try {
+      const qaoa2::Qaoa2Result cold = qaoa2::solve_qaoa2(g, copts);
+      if (!same_result(streaming, cold)) {
+        add(out, "cache_coherence",
+            "cache-enabled qaoa2 (" + fmt(cold.cut.value) +
+                ") differs from the uncached run (" +
+                fmt(streaming.cut.value) + ")");
+      }
+      const qaoa2::Qaoa2Result warm = qaoa2::solve_qaoa2(g, copts);
+      if (!same_result(streaming, warm)) {
+        add(out, "cache_coherence",
+            "hit-serving cache-enabled qaoa2 (" + fmt(warm.cut.value) +
+                ") differs from the uncached run (" +
+                fmt(streaming.cut.value) + ")");
+      }
+    } catch (const std::exception& e) {
+      add(out, "cache_coherence",
+          std::string("cache-enabled qaoa2 threw: ") + e.what());
     }
   }
 

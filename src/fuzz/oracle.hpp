@@ -16,6 +16,12 @@
 //                  optimum value is additionally invariant
 //   exact_bound    exact >= any heuristic (n <= exact_max_nodes)
 //   stream_parity  QAOA^2 streaming == recursive bit-for-bit
+//   cache_coherence  routing the solve through a seed-sensitive SolveCache
+//                  (warm starts off) is bit-for-bit identical to the
+//                  uncached solve; a repeat of the same request HITS and
+//                  stays bit-identical; a hit on an isomorphic relabeled
+//                  copy maps its cached assignment through the stored
+//                  permutation to a valid cut of the same value
 //   spec_guard     malformed specs throw std::invalid_argument, never
 //                  anything else and never succeed (check_malformed_spec)
 //
@@ -47,6 +53,9 @@ struct OracleOptions {
   /// QAOA^2 probes: compare the streaming pipeline against the recursive
   /// reference bit-for-bit.
   bool check_stream_parity = true;
+  /// Cache probes: cache-routed solves must equal uncached ones bit-for-bit
+  /// and isomorphic hits must map back to valid assignments.
+  bool check_cache_coherence = true;
 };
 
 /// Absolute tolerance used when comparing independently computed cut

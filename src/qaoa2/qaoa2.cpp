@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <stdexcept>
@@ -22,6 +24,45 @@ std::uint64_t mix_seed(std::uint64_t seed, int level, std::size_t part) {
   util::SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(level) << 32) ^
                       static_cast<std::uint64_t>(part));
   return sm.next();
+}
+
+/// Digest of the result-relevant SolverDefaults fields, folded into the
+/// driver's cache keys (Qaoa2Driver ctor). Seeds and contexts are excluded
+/// (request-supplied), as is lockstep_min_qubits (bit-identical either
+/// way, enforced by tests).
+std::string defaults_digest_hex(const solver::SolverDefaults& d) {
+  std::uint64_t h = 0x71a0aa2d15ULL;
+  const auto fold = [&h](std::uint64_t v) {
+    util::SplitMix64 sm(h ^ (v * 0x9e3779b97f4a7c15ULL));
+    h = sm.next();
+  };
+  const auto fold_double = [&fold](double x) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &x, sizeof(bits));
+    fold(bits);
+  };
+  fold(static_cast<std::uint64_t>(d.qaoa.layers));
+  fold_double(d.qaoa.rhobeg);
+  fold(static_cast<std::uint64_t>(d.qaoa.max_iterations));
+  fold(static_cast<std::uint64_t>(d.qaoa.shots));
+  fold(d.qaoa.shot_based_objective ? 1 : 0);
+  fold(static_cast<std::uint64_t>(d.qaoa.top_k));
+  fold(static_cast<std::uint64_t>(d.qaoa.restarts));
+  fold(static_cast<std::uint64_t>(d.qaoa.optimizer));
+  fold(static_cast<std::uint64_t>(d.qaoa.init));
+  fold(d.qaoa.initial_parameters.size());
+  for (const double p : d.qaoa.initial_parameters) fold_double(p);
+  fold(static_cast<std::uint64_t>(d.gw.slicings));
+  fold(static_cast<std::uint64_t>(d.gw.sdp.rank));
+  fold(static_cast<std::uint64_t>(d.gw.sdp.max_sweeps));
+  fold_double(d.gw.sdp.tol);
+  fold(static_cast<std::uint64_t>(d.local_search_restarts));
+  fold(static_cast<std::uint64_t>(d.rqaoa_cutoff));
+  fold_double(d.random_p);
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "@%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
 }
 
 std::uint64_t partition_seed(std::uint64_t base_seed, int level) {
@@ -171,14 +212,22 @@ Qaoa2Driver::Qaoa2Driver(const Qaoa2Options& options) : options_(options) {
   }
   const solver::SolverDefaults defaults = solver_defaults();
   const solver::SolverRegistry& registry = solver::SolverRegistry::global();
-  sub_ = registry.make(
-      resolved_spec(options_.sub_solver_spec, options_.sub_solver), defaults);
-  deeper_ = registry.make(
-      resolved_spec(options_.deeper_solver_spec, options_.deeper_solver),
-      defaults);
-  merge_ = registry.make(
-      resolved_spec(options_.merge_solver_spec, options_.merge_solver),
-      defaults);
+  const std::string sub_spec =
+      resolved_spec(options_.sub_solver_spec, options_.sub_solver);
+  const std::string deeper_spec =
+      resolved_spec(options_.deeper_solver_spec, options_.deeper_solver);
+  const std::string merge_spec =
+      resolved_spec(options_.merge_solver_spec, options_.merge_solver);
+  sub_ = registry.make(sub_spec, defaults);
+  deeper_ = registry.make(deeper_spec, defaults);
+  merge_ = registry.make(merge_spec, defaults);
+  // Cache keys: spec + digest of the defaults the spec refines, so two
+  // drivers sharing "qaoa" but configured with different layers/shots/...
+  // never alias one cache entry.
+  const std::string suffix = defaults_digest_hex(defaults);
+  sub_key_ = sub_spec + suffix;
+  deeper_key_ = deeper_spec + suffix;
+  merge_key_ = merge_spec + suffix;
   if (!merge_->children().empty()) {
     throw std::invalid_argument(
         "Qaoa2Driver: merge solver cannot be a best-of combinator (the "
@@ -194,12 +243,36 @@ maxcut::CutResult Qaoa2Driver::solve_subgraph(const graph::Graph& g,
   return s->solve(make_request(g, seed, options_.context)).cut;
 }
 
+solver::SolveReport Qaoa2Driver::dispatch_solve(
+    const solver::Solver& s, std::string_view solver_key,
+    const solver::SolveRequest& request) const {
+  if (options_.solve_cache == nullptr) return s.solve(request);
+  return options_.solve_cache->solve_through(s, request, solver_key,
+                                             options_.cache_policy);
+}
+
+std::vector<std::string> Qaoa2Driver::arm_solver_keys(
+    int level, std::size_t num_arms) const {
+  const std::string& key = level == 0 ? sub_key_ : deeper_key_;
+  std::vector<std::string> keys;
+  keys.reserve(num_arms);
+  if (num_arms <= 1) {
+    keys.push_back(key);
+    return keys;
+  }
+  for (std::size_t a = 0; a < num_arms; ++a) {
+    keys.push_back(key + "#arm" + std::to_string(a));
+  }
+  return keys;
+}
+
 maxcut::CutResult Qaoa2Driver::solve_fitting_level(
     const graph::Graph& g, int level, std::uint64_t base_seed,
     Qaoa2Result& result, const util::RequestContext* context) const {
   const solver::Solver& s = level == 0 ? *sub_ : *merge_;
-  const solver::SolveReport rep =
-      s.solve(make_request(g, mix_seed(base_seed, level, 0), context));
+  const std::string& key = level == 0 ? sub_key_ : merge_key_;
+  const solver::SolveReport rep = dispatch_solve(
+      s, key, make_request(g, mix_seed(base_seed, level, 0), context));
   result.solve_seconds += rep.wall_seconds;
   result.quantum_solves += rep.quantum_solves;
   result.classical_solves += rep.classical_solves;
@@ -229,8 +302,10 @@ struct StreamFrame {
   graph::Graph graph;  ///< the (coarse) graph partitioned at this level
   std::vector<std::vector<graph::NodeId>> parts;
   std::vector<graph::Subgraph> subgraphs;
-  /// The level solver's task fan-out (its children for a best-of).
+  /// The level solver's task fan-out (its children for a best-of) and the
+  /// per-arm cache keys.
   std::vector<const solver::Solver*> arms;
+  std::vector<std::string> arm_keys;
   /// Per-part, per-arm solve reports: reports[part][arm].
   std::vector<std::vector<solver::SolveReport>> reports;
   std::vector<maxcut::Assignment> locals;
@@ -421,6 +496,7 @@ class StreamPipeline : public std::enable_shared_from_this<StreamPipeline> {
     f.parts = std::move(parts);
     f.subgraphs = graph::induced_batch(f.graph, f.parts, &engine_.pool());
     f.arms = solver_arms(driver_.level_solver(level));
+    f.arm_keys = driver_.arm_solver_keys(level, f.arms.size());
 
     const std::size_t n = f.parts.size();
     f.reports.assign(n, std::vector<solver::SolveReport>(f.arms.size()));
@@ -435,7 +511,8 @@ class StreamPipeline : public std::enable_shared_from_this<StreamPipeline> {
         solves.push_back(submit_task(
             f.arms[a]->resource_kind(), [this, &c, level, i, a, seed] {
               StreamFrame& fr = c.frames[static_cast<std::size_t>(level)];
-              fr.reports[i][a] = fr.arms[a]->solve(
+              fr.reports[i][a] = driver_.dispatch_solve(
+                  *fr.arms[a], fr.arm_keys[a],
                   make_request(fr.subgraphs[i].graph, seed, tags_.context));
             }));
       }
@@ -544,6 +621,8 @@ void Qaoa2Driver::solve_level(const graph::Graph& g, int level,
   const auto subgraphs = graph::induced_batch(g, parts, &engine.pool());
   const std::vector<const solver::Solver*> arms =
       solver_arms(level_solver(level));
+  const std::vector<std::string> arm_keys =
+      arm_solver_keys(level, arms.size());
 
   std::vector<std::vector<solver::SolveReport>> reports(
       parts.size(), std::vector<solver::SolveReport>(arms.size()));
@@ -556,9 +635,11 @@ void Qaoa2Driver::solve_level(const graph::Graph& g, int level,
     for (std::size_t a = 0; a < arms.size(); ++a) {
       sched::Task task;
       task.kind = arms[a]->resource_kind();
-      task.work = [&subgraphs, &reports, &arms, i, a, seed, context] {
-        reports[i][a] =
-            arms[a]->solve(make_request(subgraphs[i].graph, seed, context));
+      task.work = [this, &subgraphs, &reports, &arms, &arm_keys, i, a, seed,
+                   context] {
+        reports[i][a] = dispatch_solve(
+            *arms[a], arm_keys[a],
+            make_request(subgraphs[i].graph, seed, context));
       };
       tasks.push_back(std::move(task));
     }

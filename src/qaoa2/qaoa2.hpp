@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cache/solve_cache.hpp"
 #include "maxcut/cut.hpp"
 #include "qaoa/qaoa.hpp"
 #include "qgraph/graph.hpp"
@@ -89,6 +90,13 @@ struct Qaoa2Options {
   /// graph as cancelled; results are unchanged while it never trips.
   const util::RequestContext* context = nullptr;
   std::uint64_t seed = 0;
+  /// Fleet-wide solve cache every leaf/coarse solve routes through (viewed,
+  /// not owned; may be null = uncached). With the cache's default
+  /// seed-sensitive keys, cached solves are bit-for-bit identical to
+  /// uncached ones — only faster when a (subgraph, solver, seed) repeats.
+  cache::SolveCache* solve_cache = nullptr;
+  /// Per-solve cache behavior (mode, warm starts, stats class).
+  cache::CachePolicy cache_policy;
 };
 
 /// Engine-level identity of one solve when many solves multiplex one
@@ -207,12 +215,32 @@ class Qaoa2Driver {
     return level == 0 ? *sub_ : *deeper_;
   }
 
+  /// Every sub/coarse solve funnels through here: straight to the solver
+  /// when no cache is configured, through SolveCache::solve_through (keyed
+  /// on `solver_key`) otherwise.
+  solver::SolveReport dispatch_solve(const solver::Solver& s,
+                                     std::string_view solver_key,
+                                     const solver::SolveRequest& request)
+      const;
+
+  /// Cache keys of one partitioned level's task fan-out: the level's role
+  /// key, suffixed "#arm<i>" when a best-of fans out multiple arms (each
+  /// arm is a distinct solver configuration).
+  std::vector<std::string> arm_solver_keys(int level,
+                                           std::size_t num_arms) const;
+
   Qaoa2Options options_;
   // Registry-built instances of the three solver roles (immutable,
-  // shared by every concurrent engine task of a solve).
+  // shared by every concurrent engine task of a solve) and their cache
+  // keys: "<resolved spec>@<defaults digest>" — the digest covers the
+  // driver-level QaoaOptions/GwOptions the spec refines, so two drivers
+  // sharing a spec string but configured differently never alias.
   solver::SolverPtr sub_;
   solver::SolverPtr deeper_;
   solver::SolverPtr merge_;
+  std::string sub_key_;
+  std::string deeper_key_;
+  std::string merge_key_;
 };
 
 /// Convenience wrapper.

@@ -122,6 +122,9 @@ RequestOutcome RequestTicket::outcome() const {
 struct SolveService::ClassState {
   WorkloadClassConfig config;
   sched::ClassId engine_class = 0;
+  /// Cache-side class id for per-class hit/miss attribution; kNoClass when
+  /// the service runs uncached or the cache's class table is full.
+  int cache_class = cache::SolveCache::kNoClass;
   std::size_t submitted = 0;
   std::size_t in_flight = 0;
   std::size_t completed = 0;
@@ -136,6 +139,9 @@ struct SolveService::ClassState {
 SolveService::SolveService(const ServiceOptions& options)
     : options_(options),
       engine_(std::make_unique<sched::WorkflowEngine>(options.engine)) {
+  if (options_.cache) {
+    cache_ = std::make_unique<cache::SolveCache>(*options_.cache);
+  }
   std::vector<WorkloadClassConfig> configs = options.classes;
   if (configs.empty()) configs.push_back(WorkloadClassConfig{});
   classes_.reserve(configs.size());
@@ -151,6 +157,9 @@ SolveService::SolveService(const ServiceOptions& options)
     fair.name = config.name;
     fair.weight = config.weight;  // add_class validates weight > 0
     state->engine_class = engine_->add_class(std::move(fair));
+    if (cache_ != nullptr) {
+      state->cache_class = cache_->register_class(config.name);
+    }
     state->config = std::move(config);
     classes_.push_back(std::move(state));
   }
@@ -207,6 +216,10 @@ RequestTicket SolveService::submit(ServiceRequest request) {
   // malformed spec must reject, not fail mid-flight.
   const bool decomposed =
       req.max_qubits > 0 && req.graph.num_nodes() > req.max_qubits;
+  cache::CachePolicy cache_policy;
+  cache_policy.mode = req.cache_mode;
+  cache_policy.warm_start = req.warm_start;
+  cache_policy.class_id = cls.cache_class;
   try {
     if (decomposed) {
       qaoa2::Qaoa2Options qopts;
@@ -216,6 +229,8 @@ RequestTicket SolveService::submit(ServiceRequest request) {
       if (!req.deeper_spec.empty()) qopts.deeper_solver_spec = req.deeper_spec;
       if (!req.merge_spec.empty()) qopts.merge_solver_spec = req.merge_spec;
       qopts.seed = req.seed;
+      qopts.solve_cache = cache_.get();
+      qopts.cache_policy = cache_policy;
       rec->driver = std::make_unique<qaoa2::Qaoa2Driver>(qopts);
     } else {
       rec->direct = solver::SolverRegistry::global().make(req.solver_spec);
@@ -289,13 +304,22 @@ RequestTicket SolveService::submit(ServiceRequest request) {
     task.kind = rec->direct->resource_kind();
     task.fair_class = rec->engine_class;
     task.group = group;
-    task.work = [rec] {
+    // Direct solvers are built from the global registry defaults, so the
+    // spec string alone identifies the configuration — it is the cache key.
+    cache::SolveCache* solve_cache = cache_.get();
+    task.work = [rec, solve_cache, cache_policy] {
       rec->context.throw_if_stopped();
       solver::SolveRequest sreq;
       sreq.graph = &rec->request.graph;
       sreq.seed = rec->request.seed;
       sreq.context = &rec->context;
-      rec->direct_cut = rec->direct->solve(sreq).cut;
+      rec->direct_cut =
+          solve_cache == nullptr
+              ? rec->direct->solve(sreq).cut
+              : solve_cache
+                    ->solve_through(*rec->direct, sreq,
+                                    rec->request.solver_spec, cache_policy)
+                    .cut;
       // A backend stopped mid-solve returns its best-so-far; the boundary
       // re-check maps the request to kCancelled, not kCompleted.
       rec->context.throw_if_stopped();
@@ -510,24 +534,52 @@ ServiceStats SolveService::stats() const {
     }
   }
   out.engine = engine_->stats();
+  if (cache_ != nullptr) {
+    out.cache_enabled = true;
+    out.cache = cache_->stats();
+    // Join the cache's per-class counters by cache class id (registered in
+    // classes_ order, so ids match indices unless the table overflowed).
+    const std::vector<cache::ClassCacheStats> ccs = cache_->class_stats();
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+      const int id = classes_[i]->cache_class;
+      if (id >= 0 && static_cast<std::size_t>(id) < ccs.size()) {
+        out.classes[i].cache_hits = ccs[static_cast<std::size_t>(id)].hits;
+        out.classes[i].cache_misses =
+            ccs[static_cast<std::size_t>(id)].misses;
+        out.classes[i].cache_coalesced =
+            ccs[static_cast<std::size_t>(id)].coalesced;
+      }
+    }
+  }
   return out;
 }
 
 std::string render_stats(const ServiceStats& stats) {
-  util::Table table({"class", "weight", "in-flight", "done", "cancelled",
-                     "failed", "rejected", "p50 s", "p95 s", "p99 s",
-                     "busy s", "wait s"});
+  std::vector<std::string> header = {"class", "weight", "in-flight", "done",
+                                     "cancelled", "failed", "rejected",
+                                     "p50 s", "p95 s", "p99 s", "busy s",
+                                     "wait s"};
+  if (stats.cache_enabled) {
+    header.insert(header.end(), {"hit", "miss", "coal"});
+  }
+  util::Table table(header);
   for (const ClassLoad& cls : stats.classes) {
-    table.add_row({cls.name, util::format_double(cls.weight, 2),
-                   std::to_string(cls.in_flight),
-                   std::to_string(cls.completed),
-                   std::to_string(cls.cancelled), std::to_string(cls.failed),
-                   std::to_string(cls.rejected),
-                   util::format_double(cls.p50_seconds, 4),
-                   util::format_double(cls.p95_seconds, 4),
-                   util::format_double(cls.p99_seconds, 4),
-                   util::format_double(cls.busy_seconds, 3),
-                   util::format_double(cls.queue_wait_seconds, 3)});
+    std::vector<std::string> row = {
+        cls.name, util::format_double(cls.weight, 2),
+        std::to_string(cls.in_flight), std::to_string(cls.completed),
+        std::to_string(cls.cancelled), std::to_string(cls.failed),
+        std::to_string(cls.rejected),
+        util::format_double(cls.p50_seconds, 4),
+        util::format_double(cls.p95_seconds, 4),
+        util::format_double(cls.p99_seconds, 4),
+        util::format_double(cls.busy_seconds, 3),
+        util::format_double(cls.queue_wait_seconds, 3)};
+    if (stats.cache_enabled) {
+      row.push_back(std::to_string(cls.cache_hits));
+      row.push_back(std::to_string(cls.cache_misses));
+      row.push_back(std::to_string(cls.cache_coalesced));
+    }
+    table.add_row(row);
   }
   std::string out = table.str();
   out += "totals: in-flight " + std::to_string(stats.in_flight) +
@@ -539,6 +591,14 @@ std::string render_stats(const ServiceStats& stats) {
          "/" + std::to_string(stats.engine.ready_classical) +
          ", in-flight q/c " + std::to_string(stats.engine.inflight_quantum) +
          "/" + std::to_string(stats.engine.inflight_classical) + "\n";
+  if (stats.cache_enabled) {
+    out += "cache: hits " + std::to_string(stats.cache.hits) + ", misses " +
+           std::to_string(stats.cache.misses) + ", coalesced " +
+           std::to_string(stats.cache.coalesced) + ", evictions " +
+           std::to_string(stats.cache.evictions) + ", entries " +
+           std::to_string(stats.cache.entries) + ", in-flight " +
+           std::to_string(stats.cache.in_flight) + "\n";
+  }
   return out;
 }
 

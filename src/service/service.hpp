@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/solve_cache.hpp"
 #include "maxcut/cut.hpp"
 #include "qgraph/graph.hpp"
 #include "qgraph/partition.hpp"
@@ -67,6 +68,13 @@ struct ServiceOptions {
   /// Completed-request latencies retained per class for the percentile
   /// stats (a ring; older samples fall out).
   std::size_t latency_window = 512;
+  /// Fleet-wide solve cache the service owns (ROADMAP item 4): every
+  /// leaf/coarse/direct solve routes through it, so a hot subgraph is
+  /// solved once per fleet, not once per request. Engaged by default —
+  /// with its seed-sensitive keys, results are bit-for-bit identical to
+  /// the uncached service. nullopt disables caching entirely (requests'
+  /// cache_mode is then ignored).
+  std::optional<cache::CacheOptions> cache = cache::CacheOptions{};
 };
 
 /// One solve request. The graph is OWNED by the request (the service keeps
@@ -92,6 +100,15 @@ struct ServiceRequest {
   /// Objective-evaluation budget shared by every solve of the request;
   /// exhaustion stops it (StopReason::kBudget).
   std::optional<std::int64_t> eval_budget;
+  /// Cache participation of this request's solves (ignored when the
+  /// service has no cache): kOn reads and fills, kReadOnly reads without
+  /// filling or waiting on in-flight fills, kOff bypasses.
+  cache::CacheMode cache_mode = cache::CacheMode::kOn;
+  /// Seed cache MISSES with transferred (gamma, beta) schedules from the
+  /// cache's warm-start advisor. Off by default: warm starts change
+  /// optimizer trajectories, trading reproducibility for fewer COBYLA
+  /// evaluations.
+  bool warm_start = false;
 };
 
 enum class RequestStatus : std::uint8_t {
@@ -168,6 +185,12 @@ struct ClassLoad {
   /// Engine-side: Σ service time of this class's tasks, Σ slot/queue wait.
   double busy_seconds = 0.0;
   double queue_wait_seconds = 0.0;
+  /// Cache-side per-class sharing counters (zero when the service runs
+  /// uncached): leaf solves answered from the cache, solved cold, and
+  /// coalesced onto another request's in-flight fill.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_coalesced = 0;
 };
 
 struct ServiceStats {
@@ -178,6 +201,8 @@ struct ServiceStats {
   std::size_t failed = 0;
   std::size_t rejected = 0;
   sched::EngineStats engine;  ///< gauges included (ready/in-flight per kind)
+  bool cache_enabled = false;
+  cache::CacheStats cache;  ///< totals + entry/in-flight gauges
 };
 
 /// Render `stats` as the live-observability table (one row per class plus
@@ -198,6 +223,8 @@ class SolveService {
   /// The engine requests multiplex (exposed for cooperative waiting and
   /// tests; submitting unrelated tasks is allowed — they run as class 0).
   sched::WorkflowEngine& engine() noexcept { return *engine_; }
+  /// The service-owned solve cache; null when options().cache is nullopt.
+  cache::SolveCache* solve_cache() noexcept { return cache_.get(); }
 
   /// Validate, admit, decompose, and start `request`. Never blocks on
   /// capacity: over-capacity (or invalid / post-shutdown) requests return
@@ -239,6 +266,9 @@ class SolveService {
 
   ServiceOptions options_;
   std::unique_ptr<sched::WorkflowEngine> engine_;
+  /// Owned solve cache (internally synchronized); created before the
+  /// classes, outlives every in-flight solve. Null when caching is off.
+  std::unique_ptr<cache::SolveCache> cache_;
   /// The vector and each ClassState's config/engine_class are immutable
   /// after construction; the mutable per-class counters inside are guarded
   /// by mutex_ (inexpressible per-field through the unique_ptr — enforced

@@ -46,12 +46,21 @@ class QaoaAdapter final : public LeafSolver {
       : LeafSolver("qaoa", sched::ResourceKind::kQuantum),
         options_(options) {}
 
+  int warm_start_dimension() const noexcept override {
+    return 2 * options_.layers;
+  }
+
  protected:
   SolveReport do_solve(const SolveRequest& request) const override {
     qaoa::QaoaOptions opts = options_;
     opts.seed = request.seed;
     opts.context = request.context;
     if (request.eval_budget) opts.max_iterations = *request.eval_budget;
+    if (request.initial_parameters != nullptr &&
+        request.initial_parameters->size() ==
+            static_cast<std::size_t>(2 * opts.layers)) {
+      opts.initial_parameters = *request.initial_parameters;
+    }
     const qaoa::QaoaResult res = qaoa::solve_qaoa(*request.graph, opts);
     SolveReport report;
     report.cut = res.cut;
@@ -59,6 +68,7 @@ class QaoaAdapter final : public LeafSolver {
     report.metrics = {{"expectation", res.expectation},
                       {"best_sampled", res.best_sampled_value},
                       {"layers", static_cast<double>(res.layers)}};
+    report.parameters = res.parameters;
     return report;
   }
 
@@ -250,6 +260,17 @@ class BestOfSolver final : public Solver {
     return {quantum, classical};
   }
 
+  /// First child that can consume a warm start; the request's
+  /// initial_parameters reach every child, but only matching dimensions
+  /// bite, so the dominant (first) parameterized child decides.
+  int warm_start_dimension() const noexcept override {
+    for (const SolverPtr& child : children_) {
+      const int dim = child->warm_start_dimension();
+      if (dim > 0) return dim;
+    }
+    return 0;
+  }
+
  protected:
   SolveReport do_solve(const SolveRequest& request) const override {
     util::Timer timer;
@@ -269,6 +290,7 @@ class BestOfSolver final : public Solver {
       ++ran;
       if (i == 0 || child.cut.value > report.cut.value) {
         report.cut = child.cut;
+        report.parameters = child.parameters;
         winner = static_cast<int>(i);
       }
     }

@@ -57,6 +57,12 @@ struct SolveRequest {
   /// solve performed, and the adapters hand it to their backends so long
   /// optimizer loops / sweeps / slicings stop mid-solve.
   const util::RequestContext* context = nullptr;
+  /// Warm-start parameter vector (viewed, not owned; must outlive the
+  /// call). Backends with a parameterized ansatz use it as the optimizer's
+  /// starting point when its size equals their `warm_start_dimension()`;
+  /// everyone else ignores it. Set by the solve cache's miss path from
+  /// transferred (gamma, beta) schedules.
+  const std::vector<double>* initial_parameters = nullptr;
 };
 
 /// A named scalar a backend wants to surface alongside the cut (GW's
@@ -80,6 +86,10 @@ struct SolveReport {
   int quantum_solves = 0;
   int classical_solves = 0;
   std::vector<SolveMetric> metrics;
+  /// Optimized variational parameters ([gamma..., beta...] for QAOA-family
+  /// backends; empty otherwise). Lets the cache/warm-start layer learn
+  /// transferable schedules from every fill.
+  std::vector<double> parameters;
 
   double metric(std::string_view key, double fallback = 0.0) const noexcept {
     for (const SolveMetric& m : metrics) {
@@ -111,6 +121,11 @@ class Solver {
   /// (quantum, classical) solves one call performs: kind-based 1/0 for a
   /// leaf, the recursive child sum for a combinator.
   virtual std::pair<int, int> solve_counts() const;
+
+  /// Size of the warm-start parameter vector this backend can consume via
+  /// SolveRequest::initial_parameters (2 * layers for the QAOA family); 0
+  /// when warm starts are meaningless for it.
+  virtual int warm_start_dimension() const noexcept { return 0; }
 
   /// Solve `request.graph`. Applies the shared trivial guard (fewer than 2
   /// nodes or no edges: all-zero assignment, value 0, no backend call),

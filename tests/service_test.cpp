@@ -94,6 +94,10 @@ ServiceRequest sleepy_request(graph::NodeId n, int polls, double ms,
   req.solver_spec =
       "sleepy:polls=" + std::to_string(polls) + ",ms=" + std::to_string(ms);
   req.workload_class = cls;
+  // These tests load the scheduler with identical synthetic requests; with
+  // the solve cache on they would dedupe into one fill and the queueing
+  // behavior under test would vanish.
+  req.cache_mode = cache::CacheMode::kOff;
   return req;
 }
 
